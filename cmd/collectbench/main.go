@@ -1,0 +1,107 @@
+// Command collectbench regenerates the paper's Dynamic Collect experiments
+// (§5, Figures 3–8 and the §5.1 update-latency numbers) and prints the same
+// series the figures plot.
+//
+// Usage:
+//
+//	collectbench -exp fig3 [-duration 200ms] [-threads 16] [-quick]
+//
+// Experiments: latency, fig3, fig4, fig5, fig6, fig7, fig8, space, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment: latency|fig3|fig4|fig5|fig6|fig7|fig8|space|all")
+	dur := flag.Duration("duration", 200*time.Millisecond, "measured duration per data point")
+	threads := flag.Int("threads", 16, "maximum simulated thread count")
+	quick := flag.Bool("quick", false, "use a reduced sweep for a fast smoke run")
+	flag.Parse()
+
+	cfg := harness.Config{
+		PointDuration: *dur,
+		Clock:         cycles.Calibrate(cycles.DefaultGHz),
+		Threads:       *threads,
+	}
+
+	threadCounts := harness.DefaultThreadCounts
+	periods4 := harness.Fig4Periods
+	periods6 := harness.Fig6Periods
+	periods7 := harness.Fig7Periods
+	fig8Total := 3000
+	if *quick {
+		threadCounts = []int{1, 2, 4, 8, 16}
+		periods4 = []int{1000000, 50000, 8000, 2000, 400}
+		periods6 = []int{8000, 2000, 400}
+		periods7 = []int{1000000, 50000, 8000, 1000}
+		fig8Total = 1200
+		cfg.PointDuration = 100 * time.Millisecond
+	}
+	var max int
+	for _, n := range threadCounts {
+		if n <= *threads {
+			max = n
+		}
+	}
+	var tc []int
+	for _, n := range threadCounts {
+		if n <= *threads {
+			tc = append(tc, n)
+		}
+	}
+	updaters := max - 1
+	if updaters < 1 {
+		updaters = 1
+	}
+
+	ran := false
+	want := func(name string) bool {
+		if *exp == name || *exp == "all" {
+			ran = true
+			return true
+		}
+		return false
+	}
+	if want("latency") {
+		fmt.Println(harness.UpdateLatencyTable(cfg, 200000).Render())
+	}
+	if want("fig3") {
+		fmt.Println(harness.Fig3(cfg, tc).Render())
+	}
+	if want("fig4") {
+		fmt.Println(harness.Fig4(cfg, updaters, periods4).Render())
+	}
+	if want("fig5") {
+		fmt.Println(harness.Fig5(cfg, updaters, periods4).Render())
+	}
+	if want("fig6") {
+		fmt.Println(harness.Fig6(cfg, updaters, periods6).Render())
+	}
+	if want("fig7") {
+		fmt.Println(harness.Fig7(cfg, updaters, periods7).Render())
+	}
+	if want("fig8") {
+		fmt.Println(harness.Fig8Table(harness.Fig8(cfg, updaters, 500, fig8Total, 100)).Render())
+	}
+	if want("space") {
+		fmt.Println(harness.SpaceTable(cfg).Render())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		return 2
+	}
+	return 0
+}

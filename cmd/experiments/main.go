@@ -1,0 +1,79 @@
+// Command experiments runs the full reproduction suite — every table and
+// figure of the paper — and writes the rendered results to stdout (and
+// optionally a file), in the order they appear in the paper. This is the
+// binary whose output EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dur := flag.Duration("duration", 150*time.Millisecond, "measured duration per data point")
+	out := flag.String("o", "", "also write results to this file")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: close: %v\n", err)
+			}
+		}()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := harness.Config{
+		PointDuration: *dur,
+		Clock:         cycles.Calibrate(cycles.DefaultGHz),
+		Threads:       16,
+	}
+	threadCounts := harness.DefaultThreadCounts
+	periods4 := harness.Fig4Periods
+	periods6 := harness.Fig6Periods
+	periods7 := harness.Fig7Periods
+	fig8Total := 3000
+	if *quick {
+		threadCounts = []int{1, 2, 4, 8, 16}
+		periods4 = []int{1000000, 50000, 8000, 2000, 400}
+		periods6 = []int{8000, 2000, 400}
+		periods7 = []int{1000000, 50000, 8000, 1000}
+		fig8Total = 1200
+	}
+
+	fmt.Fprintf(w, "# Reproduction run: %s\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(w, "# host: GOMAXPROCS=%d NumCPU=%d go=%s\n", runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.Version())
+	fmt.Fprintf(w, "# calibration: %.2f spin iters/cycle at %.1f GHz nominal\n\n",
+		cfg.Clock.ItersPerCycle(), cycles.DefaultGHz)
+
+	start := time.Now()
+	fmt.Fprintln(w, harness.Fig1(cfg, threadCounts).Render())
+	fmt.Fprintln(w, harness.UpdateLatencyTable(cfg, 200000).Render())
+	fmt.Fprintln(w, harness.Fig3(cfg, threadCounts).Render())
+	fmt.Fprintln(w, harness.Fig4(cfg, 15, periods4).Render())
+	fmt.Fprintln(w, harness.Fig5(cfg, 15, periods4).Render())
+	fmt.Fprintln(w, harness.Fig6(cfg, 15, periods6).Render())
+	fmt.Fprintln(w, harness.Fig7(cfg, 15, periods7).Render())
+	fmt.Fprintln(w, harness.Fig8Table(harness.Fig8(cfg, 15, 500, fig8Total, 100)).Render())
+	fmt.Fprintln(w, harness.SpaceTable(cfg).Render())
+	fmt.Fprintf(w, "# total wall time: %s\n", time.Since(start).Round(time.Second))
+	return 0
+}

@@ -1,0 +1,63 @@
+// Command queuebench regenerates Figure 1: throughput of the HTM queue, the
+// Michael-Scott queue (thread-local pools, no reclamation) and Michael-Scott
+// with ROP/hazard-pointer reclamation, across thread counts, plus the
+// space-after-drain comparison from §1.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/harness"
+	"repro/internal/htm"
+	"repro/internal/queue"
+)
+
+func main() {
+	dur := flag.Duration("duration", 200*time.Millisecond, "measured duration per data point")
+	threads := flag.Int("threads", 16, "maximum simulated thread count")
+	quick := flag.Bool("quick", false, "reduced sweep")
+	flag.Parse()
+
+	cfg := harness.Config{
+		PointDuration: *dur,
+		Clock:         cycles.Calibrate(cycles.DefaultGHz),
+		Threads:       *threads,
+	}
+	counts := harness.DefaultThreadCounts
+	if *quick {
+		counts = []int{1, 2, 4, 8, 16}
+		cfg.PointDuration = 100 * time.Millisecond
+	}
+	var tc []int
+	for _, n := range counts {
+		if n <= *threads {
+			tc = append(tc, n)
+		}
+	}
+	fmt.Println(harness.Fig1(cfg, tc).Render())
+
+	// §1.1 space comparison: grow each queue to 10k entries, drain, report
+	// residual live memory.
+	fmt.Println("== Space after enqueueing 10k entries and draining [bytes] ==")
+	for _, spec := range harness.QueueSpecs() {
+		h := htm.NewHeap(htm.Config{Words: 1 << 20})
+		q := spec.New(h)
+		c := q.NewCtx(h.NewThread())
+		for i := 0; i < 10000; i++ {
+			q.Enqueue(c, uint64(i+1))
+		}
+		peak := h.Stats().MaxLiveWords * 8
+		for {
+			if _, ok := q.Dequeue(c); !ok {
+				break
+			}
+		}
+		if rop, ok := q.(*queue.MSQueueROP); ok {
+			rop.CloseCtx(c)
+		}
+		fmt.Printf("%-22s peak=%-10d residual=%d\n", spec.Label, peak, h.Stats().LiveWords*8)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "On The Power of
+// Hardware Transactional Memory to Simplify Memory Management" (Dragojević,
+// Herlihy, Lev, Moir — PODC 2011).
+//
+// The paper's HTM hardware (Sun's Rock prototype) no longer exists; this
+// repository substitutes a software-simulated HTM with Rock's semantics
+// (internal/htm) and rebuilds every system the paper describes on top of it:
+// the Dynamic Collect algorithms (internal/core), the motivating FIFO queues
+// (internal/queue), hazard-pointer reclamation (internal/hazard), the
+// adaptive telescoping mechanism (internal/adapt), and a benchmark harness
+// that regenerates every table and figure (internal/harness, cmd/...).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-versus-measured
+// results. The root package contains only the repository-level benchmark
+// suite (bench_test.go).
+package repro

@@ -1,0 +1,116 @@
+// Package adapt implements the paper's adaptive telescoping step-size
+// mechanism (§3.4).
+//
+// Telescoping executes several traversal steps of a Collect inside one
+// hardware transaction, amortizing the fixed cost of starting and committing
+// a transaction. Larger steps amortize better but abort more under
+// contention. The controller tracks the outcome of the most recent 8
+// transaction attempts in a bit vector and maintains the difference between
+// commits and aborts among them: if the difference exceeds +6 after a commit
+// the step size doubles; if it drops below −2 after an abort the step size
+// halves. To avoid excessive resizing, only attempts since the last resize
+// are considered (the window is cleared whenever the step changes).
+package adapt
+
+// Paper-determined thresholds and window size (§3.4).
+const (
+	windowSize     = 8
+	growThreshold  = 6  // double the step when counter exceeds this after a commit
+	shrinkThresold = -2 // halve the step when counter drops below this after an abort
+)
+
+// Controller adapts a telescoping step size to transaction abort feedback.
+// It is not safe for concurrent use; each collecting thread owns one.
+type Controller struct {
+	step int
+	min  int
+	max  int
+
+	window uint8 // bit i set = i-th most recent attempt committed
+	filled int   // number of valid bits in window (≤ 8)
+	diff   int   // commits − aborts over the window
+}
+
+// NewController returns a controller constrained to [min, max] starting at
+// initial. Arguments are clamped into a sane order; the paper uses min 1 and
+// max 32 (Rock's store buffer size).
+func NewController(min, max, initial int) *Controller {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if initial < min {
+		initial = min
+	}
+	if initial > max {
+		initial = max
+	}
+	return &Controller{step: initial, min: min, max: max}
+}
+
+// Step returns the step size to use for the next transaction attempt.
+func (c *Controller) Step() int { return c.step }
+
+// record pushes an outcome (true = commit) into the window and updates the
+// commit−abort difference, aging out the oldest outcome when full.
+func (c *Controller) record(commit bool) {
+	if c.filled == windowSize {
+		if c.window&(1<<(windowSize-1)) != 0 {
+			c.diff--
+		} else {
+			c.diff++
+		}
+	} else {
+		c.filled++
+	}
+	c.window <<= 1
+	if commit {
+		c.window |= 1
+		c.diff++
+	} else {
+		c.diff--
+	}
+}
+
+// reset clears the outcome window, as required after each step-size change
+// ("only transaction attempts since the last resize are relevant").
+func (c *Controller) reset() {
+	c.window = 0
+	c.filled = 0
+	c.diff = 0
+}
+
+// RecordCommit feeds a committed attempt into the controller, possibly
+// doubling the step size.
+func (c *Controller) RecordCommit() {
+	c.record(true)
+	if c.diff > growThreshold && c.step < c.max {
+		c.step *= 2
+		if c.step > c.max {
+			c.step = c.max
+		}
+		c.reset()
+	}
+}
+
+// RecordAbort feeds an aborted attempt into the controller, possibly halving
+// the step size.
+func (c *Controller) RecordAbort() {
+	c.record(false)
+	if c.diff < shrinkThresold && c.step > c.min {
+		c.step /= 2
+		if c.step < c.min {
+			c.step = c.min
+		}
+		c.reset()
+	}
+}
+
+// Diff exposes the current commit−abort difference for tests and
+// diagnostics.
+func (c *Controller) Diff() int { return c.diff }
+
+// Window exposes how many outcomes are currently considered.
+func (c *Controller) Window() int { return c.filled }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/htm"
+)
+
+// StaticBaseline (§3.3) is the paper's non-HTM comparison point: a fixed
+// array with threads statically mapped to slots. Register and Deregister are
+// (nearly) no-ops — a thread claims fresh slots from a bump counter the first
+// time it needs them and thereafter recycles its own slots locally, with no
+// cross-thread synchronization — Update writes the slot directly, and
+// Collect scans the entire array, returning the non-null values seen. The
+// zero value is reserved as null.
+//
+// It does not solve the Dynamic Collect problem: the array is never resized
+// or reclaimed and slots, once claimed by a thread, belong to it forever.
+// The paper uses it only to put the dynamic algorithms' performance in
+// context.
+type StaticBaseline struct {
+	h        *htm.Heap
+	arr      htm.Addr
+	capacity int
+	nextSlot atomic.Int64
+}
+
+var _ Collector = (*StaticBaseline)(nil)
+
+type staticPriv struct {
+	free []htm.Addr // this thread's claimed but unregistered slots
+}
+
+// NewStaticBaseline allocates a fixed array of capacity one-word slots.
+func NewStaticBaseline(h *htm.Heap, capacity int) *StaticBaseline {
+	if capacity < 1 {
+		capacity = DefaultMinSize
+	}
+	th := h.NewThread()
+	return &StaticBaseline{h: h, arr: th.Alloc(capacity), capacity: capacity}
+}
+
+// Name implements Collector.
+func (b *StaticBaseline) Name() string { return "Static Baseline" }
+
+// NewCtx implements Collector.
+func (b *StaticBaseline) NewCtx(th *htm.Thread) *Ctx {
+	c := newCtx(th, Options{Step: 1})
+	c.priv = &staticPriv{}
+	return c
+}
+
+// Register implements Collector: reuse one of the thread's own slots or claim
+// the next unclaimed one, then publish v there. Values must be non-zero
+// (zero is null). It panics when the static capacity is exhausted — static
+// algorithms assume a known bound.
+func (b *StaticBaseline) Register(c *Ctx, v Value) Handle {
+	p := c.priv.(*staticPriv)
+	var slot htm.Addr
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		idx := b.nextSlot.Add(1) - 1
+		if idx >= int64(b.capacity) {
+			panic(fmt.Sprintf("core: StaticBaseline capacity %d exceeded", b.capacity))
+		}
+		slot = b.arr + htm.Addr(idx)
+	}
+	c.th.Heap().StoreNT(slot, v)
+	return Handle(slot)
+}
+
+// Update implements Collector: a direct store to the thread's slot.
+func (b *StaticBaseline) Update(c *Ctx, h Handle, v Value) {
+	c.th.Heap().StoreNT(htm.Addr(h), v)
+}
+
+// Deregister implements Collector: null the slot and keep it on the thread's
+// local free list.
+func (b *StaticBaseline) Deregister(c *Ctx, h Handle) {
+	c.th.Heap().StoreNT(htm.Addr(h), 0)
+	p := c.priv.(*staticPriv)
+	p.free = append(p.free, htm.Addr(h))
+}
+
+// Collect implements Collector: scan the whole array and take the non-null
+// values. No transactions, no indirection — but always capacity words of
+// work, however few handles are registered (Figure 3's "traverses the entire
+// array, which is on average only half full").
+func (b *StaticBaseline) Collect(c *Ctx, out []Value) []Value {
+	h := c.th.Heap()
+	for i := b.capacity - 1; i >= 0; i-- {
+		if v := h.LoadNT(b.arr + htm.Addr(i)); v != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Capacity returns the fixed array capacity (diagnostic).
+func (b *StaticBaseline) Capacity() int { return b.capacity }

@@ -1,0 +1,221 @@
+// Package core implements the Dynamic Collect problem (paper §2) and the
+// paper's HTM-based and baseline algorithms for it.
+//
+// A Collect object binds values to dynamically registered handles:
+//
+//	h := c.Register(ctx, v)   // bind v to a fresh handle h
+//	c.Update(ctx, h, v2)      // rebind h to v2
+//	c.Deregister(ctx, h)      // release h
+//	vals := c.Collect(ctx, nil)
+//
+// Collect returns a value for every handle whose registration completed
+// before the Collect began and which is not deregistered; handle/value pairs
+// being registered, updated or deregistered concurrently may "flicker" (be
+// returned or not), and the same handle may contribute more than one value.
+// Following the specification's noted variation, Collect returns a multiset
+// of values rather than (handle, value) pairs, as the paper's own
+// implementations do (Figure 2 records only array[i].val).
+//
+// Values are single machine words. The zero value is reserved as "null" by
+// the two non-HTM baselines (as in the paper's Static baseline, whose Collect
+// returns the non-null values seen); the HTM algorithms have no such
+// restriction but workloads use non-zero values throughout for comparability.
+//
+// Implementations:
+//
+//	HOHRC                 §3.1.1  list, hand-over-hand reference counts
+//	FastCollect           §3.1.2  list, deregister counter, restart on change
+//	ArrayStatSearchNo     §3.2    static array, search, no compaction
+//	ArrayStatAppendDereg  §3.2    static array, append, compact on Deregister
+//	ArrayDynSearchResize  §3.2    dynamic array, search, compact on resize
+//	ArrayDynAppendDereg   §4      dynamic array, append, compact on Deregister
+//	StaticBaseline        §3.3    non-HTM fixed array (not a Dynamic Collect)
+//	DynamicBaseline       §3.3    non-HTM reference-counted list ([11] Alg. 2)
+//
+// plus extensions the paper describes but did not implement (see their files).
+//
+// All algorithms operate on a shared simulated heap (package htm), so HTM
+// and non-HTM algorithms compete on the same memory substrate, and memory
+// reclamation is real: freed blocks are reusable immediately, and racing
+// transactions abort via sandboxing rather than observing reuse.
+package core
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/htm"
+)
+
+// Value is the word-sized value bound to a handle.
+type Value = uint64
+
+// Handle identifies a registered binding. Its interpretation is
+// algorithm-specific (a slot-reference address, a list-node address, or a
+// slot address); clients must treat it as opaque.
+type Handle uint64
+
+// Collector is a Dynamic Collect object. Methods take a per-thread Ctx
+// created by NewCtx; a Ctx must be used by a single goroutine. Handles may
+// be updated or deregistered only by the thread that registered them and only
+// while registered (the specification's well-formedness conditions); Collect
+// may be invoked by any thread at any time outside its other operations.
+type Collector interface {
+	// Name returns the algorithm's name as used in the paper's figures.
+	Name() string
+	// NewCtx creates the per-thread execution context.
+	NewCtx(th *htm.Thread) *Ctx
+	// Register binds v to a fresh handle.
+	Register(c *Ctx, v Value) Handle
+	// Update rebinds h to v.
+	Update(c *Ctx, h Handle, v Value)
+	// Deregister releases h.
+	Deregister(c *Ctx, h Handle)
+	// Collect appends a value for each registered handle to out and returns
+	// the extended slice.
+	Collect(c *Ctx, out []Value) []Value
+}
+
+// Options configure telescoping (paper §3.4) for the HTM algorithms.
+type Options struct {
+	// Step is the telescoping step size: the number of elements a Collect
+	// copies per hardware transaction. Values below 1 default to 1. When
+	// Adaptive is set, Step is the initial step.
+	Step int
+	// Adaptive enables the paper's adaptive step-size mechanism.
+	Adaptive bool
+	// TrackOutcomes records transaction outcomes into the adaptation
+	// machinery without acting on them, reproducing the "Best (adapt cost)"
+	// configuration of Figure 5, which charges the bookkeeping overhead of
+	// adaptation while pinning the step size.
+	TrackOutcomes bool
+	// MinStep and MaxStep bound the adaptive step. MaxStep defaults to the
+	// heap's store buffer size (32 on Rock); MinStep defaults to 1.
+	MinStep, MaxStep int
+}
+
+func (o Options) normalize(h *htm.Heap) Options {
+	if o.MinStep < 1 {
+		o.MinStep = 1
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = h.Config().StoreBufferSize
+		if o.MaxStep <= 0 {
+			o.MaxStep = htm.RockStoreBufferSize
+		}
+	}
+	if o.Step < o.MinStep {
+		o.Step = o.MinStep
+	}
+	if o.Step > o.MaxStep {
+		o.Step = o.MaxStep
+	}
+	return o
+}
+
+// Ctx is the per-thread execution context for a Collector. It carries the
+// htm thread, the telescoping controller, the transactional scratch buffer
+// Collect results are staged in, and algorithm-private state.
+//
+// Collect stages results in a heap-resident scratch buffer written
+// transactionally, so that — exactly as on Rock — every element copied by a
+// Collect step consumes a store-buffer entry, which is what limits step sizes
+// to 32 (paper §3.4).
+type Ctx struct {
+	th      *htm.Thread
+	opts    Options
+	ctrl    *adapt.Controller
+	scratch htm.Addr
+	scrLen  int
+	// stepHist counts elements collected per step size, for Figure 6.
+	stepHist map[int]uint64
+	priv     any
+}
+
+func newCtx(th *htm.Thread, opts Options) *Ctx {
+	c := &Ctx{th: th, opts: opts}
+	if opts.Adaptive || opts.TrackOutcomes {
+		c.ctrl = adapt.NewController(opts.MinStep, opts.MaxStep, opts.Step)
+		c.stepHist = make(map[int]uint64)
+	}
+	return c
+}
+
+// Thread returns the underlying htm thread.
+func (c *Ctx) Thread() *htm.Thread { return c.th }
+
+// step returns the step size for the next Collect transaction.
+func (c *Ctx) step() int {
+	if c.ctrl != nil && c.opts.Adaptive {
+		return c.ctrl.Step()
+	}
+	return c.opts.Step
+}
+
+// feed reports a Collect transaction outcome to the adaptation machinery;
+// collected is the number of elements the attempt copied (0 on abort).
+func (c *Ctx) feed(step int, committed bool, collected int) {
+	if c.ctrl == nil {
+		return
+	}
+	if committed {
+		c.ctrl.RecordCommit()
+		c.stepHist[step] += uint64(collected)
+	} else {
+		c.ctrl.RecordAbort()
+	}
+}
+
+// StepHistogram returns a copy of this context's elements-collected-per-step
+// histogram (Figure 6). It returns nil when adaptation is disabled.
+func (c *Ctx) StepHistogram() map[int]uint64 {
+	if c.stepHist == nil {
+		return nil
+	}
+	out := make(map[int]uint64, len(c.stepHist))
+	for k, v := range c.stepHist {
+		out[k] = v
+	}
+	return out
+}
+
+// ensureScratch guarantees the scratch buffer holds at least n words,
+// reallocating outside any transaction and preserving already-staged values.
+func (c *Ctx) ensureScratch(n int) {
+	if n <= c.scrLen {
+		return
+	}
+	if n < 64 {
+		n = 64
+	}
+	if n < 2*c.scrLen {
+		n = 2 * c.scrLen
+	}
+	h := c.th.Heap()
+	fresh := c.th.Alloc(n)
+	if c.scratch != htm.NilAddr {
+		for i := 0; i < c.scrLen; i++ {
+			h.StoreNT(fresh+htm.Addr(i), h.LoadNT(c.scratch+htm.Addr(i)))
+		}
+		c.th.Free(c.scratch)
+	}
+	c.scratch = fresh
+	c.scrLen = n
+}
+
+// drainScratch appends the first n staged values to out.
+func (c *Ctx) drainScratch(n int, out []Value) []Value {
+	h := c.th.Heap()
+	for i := 0; i < n; i++ {
+		out = append(out, h.LoadNT(c.scratch+htm.Addr(i)))
+	}
+	return out
+}
+
+// Close releases the context's heap resources. Contexts used for an entire
+// experiment need not be closed.
+func (c *Ctx) Close() {
+	if c.scratch != htm.NilAddr {
+		c.th.Free(c.scratch)
+		c.scratch = htm.NilAddr
+		c.scrLen = 0
+	}
+}

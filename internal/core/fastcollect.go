@@ -1,0 +1,163 @@
+package core
+
+import (
+	"repro/internal/htm"
+)
+
+// FastCollect node layout: value and doubly-linked list pointers. No
+// reference counts — Collect relies on the deregister counter for safety.
+const (
+	fVal = iota
+	fNext
+	fPrev
+	fcNodeWords
+)
+
+// Descriptor layout for FastCollect: head pointer and the shared deregister
+// counter dc.
+const (
+	fcHead = iota
+	fcDC
+	fcDescWords
+)
+
+// FastCollect (§3.1.2) improves on HOHRC's Collect for workloads with
+// infrequent Deregisters: it drops the per-node reference counts and instead
+// keeps a shared deregister counter. Deregister atomically unlinks the node
+// and increments the counter, freeing the node immediately afterwards.
+// Collect reads the counter in every transaction and restarts from the head
+// whenever it changed. If a Collect holds a pointer to a node freed in the
+// meantime, its next transaction either observes the changed counter and
+// restarts, or dereferences the freed node first and is sandboxed into a
+// clean abort — a direct reliance on the HTM property the paper calls out.
+//
+// The known weakness is that frequent Deregisters can starve Collects
+// (measured in Figure 7); see FastCollectDeferredFree for the paper's
+// suggested remedy.
+type FastCollect struct {
+	h    *htm.Heap
+	desc htm.Addr
+	opts Options
+}
+
+var _ Collector = (*FastCollect)(nil)
+
+// NewFastCollect allocates the collect object on h.
+func NewFastCollect(h *htm.Heap, opts Options) *FastCollect {
+	th := h.NewThread()
+	return &FastCollect{h: h, desc: th.Alloc(fcDescWords), opts: opts.normalize(h)}
+}
+
+// Name implements Collector.
+func (l *FastCollect) Name() string { return "List Fast Collect" }
+
+// NewCtx implements Collector.
+func (l *FastCollect) NewCtx(th *htm.Thread) *Ctx { return newCtx(th, l.opts) }
+
+// Register implements Collector: splice a pre-allocated node in at the head.
+func (l *FastCollect) Register(c *Ctx, v Value) Handle {
+	n := c.th.Alloc(fcNodeWords)
+	c.th.Heap().StoreNT(n+fVal, v)
+	c.th.Atomic(func(t *htm.Txn) {
+		first := htm.Addr(t.Load(l.desc + fcHead))
+		t.Store(n+fNext, uint64(first))
+		t.Store(n+fPrev, 0)
+		if first != htm.NilAddr {
+			t.Store(first+fPrev, uint64(n))
+		}
+		t.Store(l.desc+fcHead, uint64(n))
+	})
+	return Handle(n)
+}
+
+// Update implements Collector: naked store — handle storage never moves.
+func (l *FastCollect) Update(c *Ctx, h Handle, v Value) {
+	c.th.Heap().StoreNT(htm.Addr(h)+fVal, v)
+}
+
+// Deregister implements Collector: atomically unlink the node and bump the
+// deregister counter, then free the node immediately.
+func (l *FastCollect) Deregister(c *Ctx, h Handle) {
+	n := htm.Addr(h)
+	c.th.Atomic(func(t *htm.Txn) {
+		prev := htm.Addr(t.Load(n + fPrev))
+		next := htm.Addr(t.Load(n + fNext))
+		if prev == htm.NilAddr {
+			t.Store(l.desc+fcHead, uint64(next))
+		} else {
+			t.Store(prev+fNext, uint64(next))
+		}
+		if next != htm.NilAddr {
+			t.Store(next+fPrev, uint64(prev))
+		}
+		t.Add(l.desc+fcDC, 1)
+		t.FreeOnCommit(n)
+	})
+}
+
+// Collect implements Collector with telescoping: each transaction
+// re-validates the deregister counter and walks up to `step` nodes. Any
+// change of the counter restarts the whole Collect from the head.
+func (l *FastCollect) Collect(c *Ctx, out []Value) []Value {
+	c.ensureScratch(64)
+	h := c.th.Heap()
+	for { // restart loop
+		dcStart := h.LoadNT(l.desc + fcDC)
+		cur := htm.NilAddr // NilAddr: start from the head pointer
+		k := 0
+		restart := false
+		done := false
+		for !done && !restart {
+			step := c.step()
+			c.ensureScratch(k + step)
+			var p htm.Addr
+			var endReached bool
+			got := 0
+			err := c.th.TryAtomic(func(t *htm.Txn) {
+				restart = false
+				endReached = false
+				got = 0
+				if t.Load(l.desc+fcDC) != dcStart {
+					restart = true
+					return
+				}
+				if cur == htm.NilAddr {
+					p = htm.Addr(t.Load(l.desc + fcHead))
+				} else {
+					p = htm.Addr(t.Load(cur + fNext))
+				}
+				for visited := 0; visited < step; visited++ {
+					if p == htm.NilAddr {
+						endReached = true
+						break
+					}
+					t.Store(c.scratch+htm.Addr(k+got), t.Load(p+fVal))
+					got++
+					if visited+1 < step {
+						p = htm.Addr(t.Load(p + fNext))
+					}
+				}
+			})
+			if err != nil {
+				c.feed(step, false, 0)
+				if h.LoadNT(l.desc+fcDC) != dcStart {
+					restart = true
+				}
+				continue
+			}
+			c.feed(step, true, got)
+			if restart {
+				break
+			}
+			k += got
+			if endReached {
+				done = true
+				break
+			}
+			cur = p
+		}
+		if done {
+			return c.drainScratch(k, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package cycles provides cycle-denominated busy-wait delays.
+//
+// The paper's benchmarks parameterize contention in CPU cycles (e.g. "update
+// period of 20,000 cycles" on a ~2 GHz Rock core). This package calibrates a
+// spin loop against the wall clock so workloads can reproduce the paper's
+// period sweeps with the same units. Absolute durations need not match Rock;
+// what matters for reproducing the figures is that the sweep spans the same
+// relative contention gradient.
+package cycles
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultGHz is the clock rate used to convert cycles to time. Rock-class
+// SPARC parts of the era clocked near 2 GHz.
+const DefaultGHz = 2.0
+
+// sink defeats dead-code elimination of spin loops.
+var sink atomic.Uint64 //nolint:gochecknoglobals // write-only DCE sink
+
+// Clock converts cycle counts into calibrated busy-wait spins. A Clock is
+// immutable after creation and safe for concurrent use.
+type Clock struct {
+	itersPerCycle float64
+	ghz           float64
+}
+
+// spin runs n iterations of a cheap integer loop and defeats elimination.
+func spin(n uint64) {
+	var x uint64 = 88172645463325252
+	for i := uint64(0); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	sink.Store(x)
+}
+
+// Calibrate measures the spin-loop rate of this machine and returns a Clock
+// that converts cycles at the given clock rate (use DefaultGHz) into spins.
+func Calibrate(ghz float64) *Clock {
+	if ghz <= 0 {
+		ghz = DefaultGHz
+	}
+	const probe = 1 << 21
+	// Warm up, then take the best of three timings to reduce scheduling
+	// noise.
+	spin(probe)
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		spin(probe)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	itersPerNs := float64(probe) / float64(best.Nanoseconds())
+	nsPerCycle := 1.0 / ghz
+	c := &Clock{itersPerCycle: itersPerNs * nsPerCycle, ghz: ghz}
+	if c.itersPerCycle <= 0 {
+		c.itersPerCycle = 1
+	}
+	return c
+}
+
+// NewFixed returns a Clock with a fixed iterations-per-cycle ratio, for
+// deterministic tests.
+func NewFixed(itersPerCycle float64) *Clock {
+	if itersPerCycle <= 0 {
+		itersPerCycle = 1
+	}
+	return &Clock{itersPerCycle: itersPerCycle, ghz: DefaultGHz}
+}
+
+// Spin busy-waits for approximately the given number of CPU cycles.
+func (c *Clock) Spin(cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	spin(uint64(float64(cycles) * c.itersPerCycle))
+}
+
+// coopChunk is the spin length between scheduler yields in SpinCoop, in
+// cycles. It bounds how long a waiting worker can hold the core away from
+// the threads it contends with, so it directly sets the latency another
+// goroutine pays per scheduler rotation on an under-provisioned host; keep
+// it small relative to transaction lengths.
+const coopChunk = 250
+
+// SpinCoop busy-waits like Spin but yields the processor between chunks of
+// roughly 2000 cycles, and always at least once. On hosts with fewer cores
+// than simulated threads this stands in for the paper's dedicated-core busy
+// waits: while one simulated thread waits out its period, others get to run —
+// as they would on real hardware. Without the unconditional yield, a worker
+// spinning short periods would monopolize a core for a whole preemption
+// quantum and starve the threads it is supposed to merely contend with.
+func (c *Clock) SpinCoop(cycles int) {
+	for cycles > coopChunk {
+		spin(uint64(coopChunk * c.itersPerCycle))
+		runtime.Gosched()
+		cycles -= coopChunk
+	}
+	c.Spin(cycles)
+	runtime.Gosched()
+}
+
+// Duration reports the nominal wall-clock duration of the given number of
+// cycles at the clock rate this Clock was calibrated for.
+func (c *Clock) Duration(cycles int) time.Duration {
+	ghz := c.ghz
+	if ghz <= 0 {
+		ghz = DefaultGHz
+	}
+	return time.Duration(float64(cycles) / ghz)
+}
+
+// ItersPerCycle exposes the calibration factor for diagnostics.
+func (c *Clock) ItersPerCycle() float64 { return c.itersPerCycle }

@@ -1,0 +1,66 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateProducesPositiveRate(t *testing.T) {
+	c := Calibrate(DefaultGHz)
+	if c.ItersPerCycle() <= 0 {
+		t.Errorf("ItersPerCycle = %f", c.ItersPerCycle())
+	}
+}
+
+func TestCalibrateBadGHzFallsBack(t *testing.T) {
+	c := Calibrate(-1)
+	if c.ItersPerCycle() <= 0 {
+		t.Error("negative GHz not handled")
+	}
+	if d := c.Duration(2_000_000_000); d <= 0 {
+		t.Errorf("Duration = %v", d)
+	}
+}
+
+func TestSpinScalesRoughlyLinearly(t *testing.T) {
+	c := Calibrate(DefaultGHz)
+	timeSpin := func(cycles int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			c.Spin(cycles)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	small := timeSpin(50_000)
+	large := timeSpin(500_000)
+	if large < small*3 {
+		t.Errorf("10x cycles took %v vs %v; spin is not scaling", large, small)
+	}
+}
+
+func TestSpinZeroAndNegative(t *testing.T) {
+	c := NewFixed(1)
+	c.Spin(0)
+	c.Spin(-5) // must not hang or panic
+}
+
+func TestNewFixed(t *testing.T) {
+	c := NewFixed(2.5)
+	if c.ItersPerCycle() != 2.5 {
+		t.Errorf("ItersPerCycle = %f", c.ItersPerCycle())
+	}
+	if NewFixed(-1).ItersPerCycle() != 1 {
+		t.Error("non-positive ratio not clamped")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	c := Calibrate(2.0)
+	if d := c.Duration(2000); d != time.Microsecond {
+		t.Errorf("2000 cycles at 2GHz = %v, want 1µs", d)
+	}
+}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cycles"
+)
+
+// quickCfg keeps harness tests fast: tiny points, fixed spin calibration.
+func quickCfg() Config {
+	return Config{
+		PointDuration: 30 * time.Millisecond,
+		HeapWords:     1 << 18,
+		Clock:         cycles.NewFixed(1),
+		Threads:       4,
+	}
+}
+
+func TestCollectDominatedRuns(t *testing.T) {
+	for _, spec := range Fig3Specs() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			r := CollectDominated(quickCfg(), Bind(spec, 3), 3)
+			if r.Ops == 0 {
+				t.Error("no operations completed")
+			}
+			if r.OpsPerUs() <= 0 {
+				t.Errorf("throughput = %f", r.OpsPerUs())
+			}
+		})
+	}
+}
+
+func TestCollectUpdateRuns(t *testing.T) {
+	for _, spec := range Fig4Specs() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			r := CollectUpdate(quickCfg(), Bind(spec, 4), 3, 20000)
+			if r.Ops == 0 {
+				t.Error("no collects completed")
+			}
+		})
+	}
+}
+
+func TestCollectUpdateRecordsHistogramWhenAdaptive(t *testing.T) {
+	r := CollectUpdate(quickCfg(), Bind(SpecArrayDynAppendDereg(adaptOpts(8)), 3), 2, 50000)
+	if len(r.StepHist) == 0 {
+		t.Error("adaptive run produced no step histogram")
+	}
+}
+
+func TestCollectDeregisterRuns(t *testing.T) {
+	for _, spec := range Fig7Specs() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			r := CollectDeregister(quickCfg(), Bind(spec, 4), 3, 20000, 50000)
+			if r.Ops == 0 {
+				t.Error("no collects completed")
+			}
+		})
+	}
+}
+
+func TestVaryingSlotsProducesBuckets(t *testing.T) {
+	cfg := quickCfg()
+	buckets := VaryingSlots(cfg, Bind(SpecArrayDynAppendDereg(stepOpts(8)), 4), 3,
+		4, 16, 40*time.Millisecond, 120*time.Millisecond, 20*time.Millisecond)
+	if len(buckets) < 3 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	for _, b := range buckets {
+		if b.OpsPerUs < 0 {
+			t.Errorf("negative throughput at %dms", b.AtMs)
+		}
+	}
+}
+
+func TestUpdateLatencyPositive(t *testing.T) {
+	for _, spec := range UpdateLatencySpecs() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			ns := UpdateLatency(quickCfg(), Bind(spec, 1), 5000)
+			if ns <= 0 {
+				t.Errorf("latency = %f", ns)
+			}
+		})
+	}
+}
+
+func TestQueueThroughputRuns(t *testing.T) {
+	for _, spec := range QueueSpecs() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			r := QueueThroughput(quickCfg(), spec.New, 3, 64)
+			if r.Ops == 0 {
+				t.Error("no operations completed")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		XLabel: "x",
+		Xs:     []string{"1", "2"},
+		Series: []Series{{Label: "a", Ys: []float64{1.5, 2.5}}, {Label: "b", Ys: []float64{0.5}}},
+	}
+	out := tab.Render()
+	for _, want := range []string{"demo", "1.500", "2.500", "0.500", "-", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistTableRender(t *testing.T) {
+	ht := &HistTable{
+		Title: "hist",
+		Xs:    []string{"8k", "4k"},
+		Hists: []map[int]uint64{{8: 75, 16: 25}, {}},
+	}
+	out := ht.Render()
+	if !strings.Contains(out, "75.0%") {
+		t.Errorf("missing percentage:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("empty histogram should render '-':\n%s", out)
+	}
+}
+
+func TestFormatCycles(t *testing.T) {
+	tests := map[int]string{
+		1000000: "1M",
+		500000:  "500k",
+		20000:   "20k",
+		800:     "800",
+		400:     "400",
+	}
+	for in, want := range tests {
+		if got := FormatCycles(in); got != want {
+			t.Errorf("FormatCycles(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestResultOpsPerUsZeroElapsed(t *testing.T) {
+	if (Result{Ops: 5}).OpsPerUs() != 0 {
+		t.Error("zero elapsed should yield 0 throughput")
+	}
+}
+
+func TestSpaceTableShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every algorithm")
+	}
+	cfg := quickCfg()
+	tab := SpaceTable(cfg)
+	if len(tab.Series) != len(Fig3Specs())+len(QueueSpecs()) {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	var htmQueueResidual, msQueueResidual float64
+	for _, s := range tab.Series {
+		if len(s.Ys) != 2 {
+			t.Fatalf("series %q has %d columns", s.Label, len(s.Ys))
+		}
+		switch s.Label {
+		case "Queue: HTM":
+			htmQueueResidual = s.Ys[1]
+		case "Queue: Michael-Scott":
+			msQueueResidual = s.Ys[1]
+		}
+	}
+	// The paper's space claim: the pool-based MS queue retains its
+	// historical maximum after draining; the HTM queue does not.
+	if htmQueueResidual*10 > msQueueResidual {
+		t.Errorf("HTM queue residual %f not far below MS pool residual %f",
+			htmQueueResidual, msQueueResidual)
+	}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/queue"
+)
+
+// CollectorSpec names one collector configuration as it appears in the
+// paper's figures.
+type CollectorSpec struct {
+	// Label is the legend string used in the figures.
+	Label string
+	// New constructs the collector on a fresh heap.
+	New func(h *htm.Heap, threads int) core.Collector
+}
+
+// stepOpts builds fixed-step options.
+func stepOpts(step int) core.Options { return core.Options{Step: step} }
+
+// adaptOpts builds adaptive options starting at `initial`.
+func adaptOpts(initial int) core.Options { return core.Options{Step: initial, Adaptive: true} }
+
+// Spec constructors for each algorithm. capacity sizes the static arrays and
+// the static baseline; the experiments of §5 never exceed 64 handles, so the
+// paper-faithful capacity is 64 (passing a larger capacity is useful for
+// custom runs).
+
+// SpecArrayDynAppendDereg returns the Figure 2 algorithm with the given
+// telescoping options.
+func SpecArrayDynAppendDereg(o core.Options) CollectorSpec {
+	return CollectorSpec{
+		Label: "Array Dyn Append Dereg" + optSuffix(o),
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewArrayDynAppendDereg(h, 0, o) },
+	}
+}
+
+// SpecArrayStatAppendDereg returns the static append/compact algorithm.
+func SpecArrayStatAppendDereg(capacity int, o core.Options) CollectorSpec {
+	return CollectorSpec{
+		Label: "Array Stat Append Dereg" + optSuffix(o),
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewArrayStatAppendDereg(h, capacity, o) },
+	}
+}
+
+// SpecArrayStatSearchNo returns the static search/no-compaction algorithm.
+func SpecArrayStatSearchNo(capacity int) CollectorSpec {
+	return CollectorSpec{
+		Label: "Array Stat Search No",
+		New: func(h *htm.Heap, threads int) core.Collector {
+			return core.NewArrayStatSearchNo(h, capacity, stepOpts(1))
+		},
+	}
+}
+
+// SpecArrayDynSearchResize returns the dynamic search/compact-on-resize
+// algorithm.
+func SpecArrayDynSearchResize(o core.Options) CollectorSpec {
+	return CollectorSpec{
+		Label: "Array Dyn Search Resize" + optSuffix(o),
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewArrayDynSearchResize(h, 0, o) },
+	}
+}
+
+// SpecFastCollect returns the FastCollect list algorithm.
+func SpecFastCollect(o core.Options) CollectorSpec {
+	return CollectorSpec{
+		Label: "List Fast Collect" + optSuffix(o),
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewFastCollect(h, o) },
+	}
+}
+
+// SpecHOHRC returns the hand-over-hand reference-counting list algorithm.
+func SpecHOHRC(o core.Options) CollectorSpec {
+	return CollectorSpec{
+		Label: "List HoH RC" + optSuffix(o),
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewHOHRC(h, o) },
+	}
+}
+
+// SpecStaticBaseline returns the non-HTM static baseline.
+func SpecStaticBaseline(capacity int) CollectorSpec {
+	return CollectorSpec{
+		Label: "Static Baseline",
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewStaticBaseline(h, capacity) },
+	}
+}
+
+// SpecDynamicBaseline returns the non-HTM CAS-based baseline.
+func SpecDynamicBaseline() CollectorSpec {
+	return CollectorSpec{
+		Label: "Dynamic Baseline",
+		New:   func(h *htm.Heap, threads int) core.Collector { return core.NewDynamicBaseline(h) },
+	}
+}
+
+func optSuffix(o core.Options) string {
+	switch {
+	case o.Adaptive:
+		return " (adapt)"
+	case o.TrackOutcomes:
+		return fmt.Sprintf(" (step %d, adapt cost)", o.Step)
+	case o.Step > 1:
+		return fmt.Sprintf(" (step %d)", o.Step)
+	default:
+		return ""
+	}
+}
+
+// QueueSpec names one queue implementation for Figure 1.
+type QueueSpec struct {
+	Label string
+	New   func(h *htm.Heap) queue.Queue
+}
+
+// QueueSpecs returns the three Figure 1 queues.
+func QueueSpecs() []QueueSpec {
+	return []QueueSpec{
+		{Label: "HTM", New: func(h *htm.Heap) queue.Queue { return queue.NewHTMQueue(h) }},
+		{Label: "Michael-Scott", New: func(h *htm.Heap) queue.Queue { return queue.NewMSQueue(h) }},
+		{Label: "Michael-Scott ROP", New: func(h *htm.Heap) queue.Queue { return queue.NewMSQueueROP(h) }},
+	}
+}

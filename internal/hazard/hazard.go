@@ -1,0 +1,162 @@
+// Package hazard implements hazard-pointer-based safe memory reclamation
+// (Michael [14], equivalently the "Repeat Offender Problem" ROP mechanism of
+// Herlihy et al. [10]) over the simulated heap.
+//
+// This is the paper's non-HTM point of comparison for memory reclamation: a
+// thread announces each pointer it is about to dereference in a shared
+// hazard slot, re-validates the pointer after announcing, and before freeing
+// a block must scan all other threads' announcements — a collect — to ensure
+// the block is not in use. The announce-validate-scan traffic is the 35–75%
+// overhead the paper measures on the Michael-Scott queue in Figure 1.
+//
+// Hazard records live in the simulated heap, so their space — proportional
+// to the historical maximum number of participating threads (paper §1.2) —
+// shows up in the heap's live-word accounting alongside everything else.
+package hazard
+
+import (
+	"runtime"
+
+	"repro/internal/htm"
+)
+
+// Hazard record layout: link to the next record, an active flag, and K
+// hazard-pointer slots.
+const (
+	rNext = iota
+	rActive
+	rHP0
+	// record size = rHP0 + K
+)
+
+// Domain is a reclamation domain: a lock-free list of hazard records plus
+// per-thread retirement lists. All pointers it manages are heap addresses.
+type Domain struct {
+	h    *htm.Heap
+	head htm.Addr // one word: address of the first hazard record
+	k    int      // hazard pointers per record
+}
+
+// NewDomain creates a reclamation domain whose records carry k hazard
+// pointers each (the Michael-Scott queue needs 2).
+func NewDomain(h *htm.Heap, k int) *Domain {
+	if k < 1 {
+		k = 1
+	}
+	th := h.NewThread()
+	return &Domain{h: h, head: th.Alloc(1), k: k}
+}
+
+// Record is a thread's acquired hazard record plus its private retirement
+// list. A Record must be used by a single goroutine.
+type Record struct {
+	d       *Domain
+	th      *htm.Thread
+	addr    htm.Addr // this thread's record in the shared list
+	retired []htm.Addr
+	// scanThreshold is the retirement-list length that triggers a scan.
+	scanThreshold int
+}
+
+// Acquire finds an inactive hazard record to adopt or appends a fresh one —
+// the Register step of the dynamic collect embedded in this mechanism.
+func (d *Domain) Acquire(th *htm.Thread) *Record {
+	h := d.h
+	// Try to re-activate a released record.
+	for r := htm.Addr(h.LoadNT(d.head)); r != htm.NilAddr; r = htm.Addr(h.LoadNT(r + rNext)) {
+		if h.LoadNT(r+rActive) == 0 && h.CASNT(r+rActive, 0, 1) {
+			rec := &Record{d: d, th: th, addr: r, scanThreshold: 2 * d.k * 8}
+			rec.clear()
+			return rec
+		}
+	}
+	// Append a new record at the head.
+	r := th.Alloc(rHP0 + d.k)
+	h.StoreNT(r+rActive, 1)
+	for {
+		first := h.LoadNT(d.head)
+		h.StoreNT(r+rNext, first)
+		if h.CASNT(d.head, first, uint64(r)) {
+			return &Record{d: d, th: th, addr: r, scanThreshold: 2 * d.k * 8}
+		}
+	}
+}
+
+func (r *Record) clear() {
+	for i := 0; i < r.d.k; i++ {
+		r.d.h.StoreNT(r.addr+rHP0+htm.Addr(i), 0)
+	}
+}
+
+// Protect announces intent to dereference p in hazard slot i. The caller
+// must re-validate that p is still reachable after Protect returns before
+// dereferencing it (the announce-then-verify protocol).
+func (r *Record) Protect(i int, p htm.Addr) {
+	r.d.h.StoreNT(r.addr+rHP0+htm.Addr(i), uint64(p))
+}
+
+// ClearSlot retracts the announcement in slot i.
+func (r *Record) ClearSlot(i int) {
+	r.d.h.StoreNT(r.addr+rHP0+htm.Addr(i), 0)
+}
+
+// Retire queues p for deallocation once no thread announces it. When the
+// private retirement list reaches the scan threshold, Scan runs.
+func (r *Record) Retire(p htm.Addr) {
+	r.retired = append(r.retired, p)
+	if len(r.retired) >= r.scanThreshold {
+		r.Scan()
+	}
+}
+
+// Scan performs the collect over all hazard records and frees every retired
+// block that no thread announces. This is precisely a Collect over the
+// domain's announcements (paper §1.2).
+func (r *Record) Scan() {
+	h := r.d.h
+	hazards := make(map[htm.Addr]bool)
+	for rec := htm.Addr(h.LoadNT(r.d.head)); rec != htm.NilAddr; rec = htm.Addr(h.LoadNT(rec + rNext)) {
+		for i := 0; i < r.d.k; i++ {
+			if p := htm.Addr(h.LoadNT(rec + rHP0 + htm.Addr(i))); p != htm.NilAddr {
+				hazards[p] = true
+			}
+		}
+	}
+	kept := r.retired[:0]
+	for _, p := range r.retired {
+		if hazards[p] {
+			kept = append(kept, p)
+		} else {
+			r.th.Free(p)
+		}
+	}
+	r.retired = kept
+}
+
+// Release retracts all announcements and deactivates the record so another
+// thread can adopt it (the Deregister step). It first retracts this thread's
+// own announcements — so concurrent Releases cannot block each other — then
+// scans until its private retirement backlog drains.
+func (r *Record) Release() {
+	r.clear()
+	for len(r.retired) > 0 {
+		r.Scan()
+		runtime.Gosched()
+	}
+	r.d.h.StoreNT(r.addr+rActive, 0)
+}
+
+// RetiredLen reports the current private retirement backlog (diagnostics).
+func (r *Record) RetiredLen() int { return len(r.retired) }
+
+// Records reports how many hazard records exist in the domain (diagnostics;
+// grows to the historical maximum thread count, the space property §1.2
+// discusses).
+func (d *Domain) Records() int {
+	h := d.h
+	n := 0
+	for rec := htm.Addr(h.LoadNT(d.head)); rec != htm.NilAddr; rec = htm.Addr(h.LoadNT(rec + rNext)) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package hazard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/htm"
+)
+
+func TestAcquireReusesReleasedRecords(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h, 2)
+	th := h.NewThread()
+	r1 := d.Acquire(th)
+	if d.Records() != 1 {
+		t.Fatalf("records = %d, want 1", d.Records())
+	}
+	r1.Release()
+	r2 := d.Acquire(th)
+	if d.Records() != 1 {
+		t.Errorf("released record not reused: %d records", d.Records())
+	}
+	if r2.addr != r1.addr {
+		t.Errorf("expected record reuse, got %v vs %v", r2.addr, r1.addr)
+	}
+	r2.Release()
+}
+
+func TestRecordsGrowToConcurrentMax(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h, 1)
+	th := h.NewThread()
+	var recs []*Record
+	for i := 0; i < 8; i++ {
+		recs = append(recs, d.Acquire(th))
+	}
+	if d.Records() != 8 {
+		t.Fatalf("records = %d, want 8", d.Records())
+	}
+	for _, r := range recs {
+		r.Release()
+	}
+	// Historical maximum persists — the space property of §1.2.
+	if d.Records() != 8 {
+		t.Errorf("records = %d after release, want 8 (historical max)", d.Records())
+	}
+}
+
+func TestProtectPreventsFree(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h, 1)
+	th := h.NewThread()
+	owner := d.Acquire(th)
+	guard := d.Acquire(th)
+
+	blk := th.Alloc(2)
+	h.StoreNT(blk, 42)
+	guard.Protect(0, blk)
+	owner.Retire(blk)
+	owner.Scan()
+	// Still protected: must not have been freed.
+	if v := h.LoadNT(blk); v != 42 {
+		t.Fatalf("protected block damaged: %d", v)
+	}
+	if owner.RetiredLen() != 1 {
+		t.Fatalf("retired len = %d, want 1", owner.RetiredLen())
+	}
+	guard.ClearSlot(0)
+	owner.Scan()
+	if owner.RetiredLen() != 0 {
+		t.Errorf("block not freed after protection cleared")
+	}
+	guard.Release()
+	owner.Release()
+}
+
+func TestRetireTriggersScanAtThreshold(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h, 1)
+	th := h.NewThread()
+	r := d.Acquire(th)
+	live := h.Stats().LiveWords
+	for i := 0; i < r.scanThreshold; i++ {
+		r.Retire(th.Alloc(1))
+	}
+	if r.RetiredLen() != 0 {
+		t.Errorf("retired backlog = %d after threshold scan", r.RetiredLen())
+	}
+	if got := h.Stats().LiveWords; got != live {
+		t.Errorf("live words = %d, want %d (all retired blocks freed)", got, live)
+	}
+	r.Release()
+}
+
+func TestConcurrentProtectRetire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Readers chase a published pointer under hazard protection while a
+	// writer swaps and retires blocks; the heap panics on any premature free.
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	d := NewDomain(h, 1)
+	setup := h.NewThread()
+	ptr := setup.Alloc(1)
+	blk := setup.Alloc(2)
+	h.StoreNT(blk, 7)
+	h.StoreNT(blk+1, 7)
+	h.StoreNT(ptr, uint64(blk))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := h.NewThread()
+		w := d.Acquire(th)
+		for i := uint64(8); ; i++ {
+			select {
+			case <-stop:
+				w.Release()
+				return
+			default:
+			}
+			nb := th.Alloc(2)
+			h.StoreNT(nb, i)
+			h.StoreNT(nb+1, i)
+			old := htm.Addr(h.LoadNT(ptr))
+			h.StoreNT(ptr, uint64(nb))
+			w.Retire(old)
+		}
+	}()
+	var rwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			th := h.NewThread()
+			r := d.Acquire(th)
+			defer r.Release()
+			for n := 0; n < 5000; n++ {
+				for {
+					b := htm.Addr(h.LoadNT(ptr))
+					r.Protect(0, b)
+					if htm.Addr(h.LoadNT(ptr)) != b {
+						continue // revalidate after announcing
+					}
+					x := h.LoadNT(b)
+					y := h.LoadNT(b + 1)
+					if x != y {
+						t.Errorf("torn read through hazard pointer: %d vs %d", x, y)
+					}
+					r.ClearSlot(0)
+					break
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wg.Wait()
+}

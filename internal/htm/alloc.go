@@ -1,0 +1,156 @@
+package htm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The allocator hands out blocks of whole words from the arena. Each block
+// has a one-word header holding the payload size and an allocated bit, so
+// Free needs only the payload address. Freed blocks are kept on exact-size
+// free lists (no splitting or coalescing — the experiments allocate a small
+// set of block sizes, and exact-size recycling keeps the simulation simple
+// and fast without affecting any measured behaviour).
+//
+// The arena is partitioned into shards, each with its own mutex, bump region
+// and free lists. Threads are assigned shards round-robin, so allocation is
+// uncontended when the number of worker threads does not exceed the shard
+// count — mirroring the mostly-uncontended fast path of libumem, the
+// allocator used in the paper's experiments.
+
+const headerAllocBit uint64 = 1
+
+type allocShard struct {
+	mu   sync.Mutex
+	free map[int][]Addr // payload size in words -> payload addresses
+	bump Addr           // next unused word in this shard's region
+	end  Addr           // one past the shard's region
+}
+
+type allocator struct {
+	h      *Heap
+	shards []allocShard
+}
+
+func (al *allocator) init(h *Heap) {
+	al.h = h
+	n := 1
+	for n < runtime.NumCPU()*2 {
+		n <<= 1
+	}
+	al.shards = make([]allocShard, n)
+	// Word 0 is reserved so that NilAddr is never a valid payload address.
+	lo := 1
+	total := len(h.words) - lo
+	per := total / n
+	for i := range al.shards {
+		s := &al.shards[i]
+		s.free = make(map[int][]Addr)
+		s.bump = Addr(lo + i*per)
+		s.end = Addr(lo + (i+1)*per)
+	}
+	al.shards[n-1].end = Addr(len(h.words))
+}
+
+// allocFrom tries to carve or recycle a block of size payload words from
+// shard si, returning NilAddr if the shard cannot satisfy the request.
+func (al *allocator) allocFrom(si, size int) Addr {
+	s := &al.shards[si]
+	s.mu.Lock()
+	if lst := s.free[size]; len(lst) > 0 {
+		a := lst[len(lst)-1]
+		s.free[size] = lst[:len(lst)-1]
+		s.mu.Unlock()
+		return a
+	}
+	need := Addr(size + 1)
+	if s.end-s.bump >= need {
+		a := s.bump + 1
+		s.bump += need
+		s.mu.Unlock()
+		return a
+	}
+	s.mu.Unlock()
+	return NilAddr
+}
+
+// alloc returns a zeroed, allocated block of size words, preferring the
+// given home shard. It panics if the arena is exhausted.
+func (al *allocator) alloc(home, size int) Addr {
+	if size <= 0 {
+		panic("htm: alloc of non-positive size")
+	}
+	a := al.allocFrom(home, size)
+	if a == NilAddr {
+		for i := range al.shards {
+			if i == home {
+				continue
+			}
+			if a = al.allocFrom(i, size); a != NilAddr {
+				break
+			}
+		}
+	}
+	if a == NilAddr {
+		panic(fmt.Sprintf("htm: arena exhausted allocating %d words (capacity %d)", size, len(al.h.words)))
+	}
+	h := al.h
+	h.words[a-1].Store(uint64(size)<<1 | headerAllocBit)
+	for w := a; w < a+Addr(size); w++ {
+		g := h.gens[w].Load()
+		if g&1 == 1 {
+			panic(fmt.Sprintf("htm: allocator invariant violation: word %#x already allocated", uint32(w)))
+		}
+		h.words[w].Store(0)
+		h.gens[w].Store(g + 1)
+	}
+	h.stats.allocCalls.Add(1)
+	live := h.stats.liveWords.Add(uint64(size))
+	for {
+		m := h.stats.maxLiveWords.Load()
+		if live <= m || h.stats.maxLiveWords.CompareAndSwap(m, live) {
+			break
+		}
+	}
+	return a
+}
+
+// free returns the block whose payload starts at a to its shard's free list.
+// Every payload word's allocation generation is flipped to "free" and its
+// ownership record's version is bumped, so that any in-flight transaction
+// that read the block aborts at its next validation, and any later
+// transactional access aborts immediately (sandboxing).
+func (al *allocator) free(home int, a Addr) {
+	h := al.h
+	if !h.valid(a) {
+		panic(fmt.Sprintf("htm: free of invalid address %#x", uint32(a)))
+	}
+	hdr := h.words[a-1].Load()
+	if hdr&headerAllocBit == 0 {
+		panic(fmt.Sprintf("htm: double free of %#x", uint32(a)))
+	}
+	size := int(hdr >> 1)
+	h.words[a-1].Store(uint64(size) << 1)
+	for w := a; w < a+Addr(size); w++ {
+		h.lockOrec(w)
+		g := h.gens[w].Load()
+		if g&1 == 0 {
+			panic(fmt.Sprintf("htm: free of already-free word %#x", uint32(w)))
+		}
+		h.gens[w].Store(g + 1)
+		h.releaseOrec(w, h.clock.Add(1))
+	}
+	h.stats.freeCalls.Add(1)
+	h.stats.liveWords.Add(^uint64(size - 1))
+	s := &al.shards[home]
+	s.mu.Lock()
+	s.free[size] = append(s.free[size], a)
+	s.mu.Unlock()
+}
+
+// blockSize returns the payload size in words of the allocated block at a.
+func (al *allocator) blockSize(a Addr) int {
+	hdr := al.h.words[a-1].Load()
+	return int(hdr >> 1)
+}

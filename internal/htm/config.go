@@ -1,0 +1,86 @@
+package htm
+
+// Rock-like defaults. RockStoreBufferSize is the size of the store buffer on
+// Sun's Rock prototype, which bounds the number of distinct words a
+// transaction may write (paper §3.4: "we could not use step sizes greater
+// than 32, which is the size of Rock's store buffer").
+const (
+	RockStoreBufferSize = 32
+
+	defaultHeapWords  = 1 << 20
+	defaultMaxRetries = 256
+	defaultMaxReadSet = 1 << 16
+)
+
+// Config parameterizes a simulated Heap and its transaction engine. The zero
+// value selects Rock-like defaults via NewHeap.
+type Config struct {
+	// Words is the arena capacity in 64-bit words. Defaults to 1<<20.
+	Words int
+
+	// StoreBufferSize bounds the number of distinct words a single
+	// transaction may write before aborting with AbortOverflow. Defaults to
+	// RockStoreBufferSize (32). Set to a negative value for an unbounded
+	// store buffer (a "future HTM", paper §6).
+	StoreBufferSize int
+
+	// MaxReadSet bounds the transactional read set; exceeding it aborts with
+	// AbortCapacity. Rock tracks reads in the L1 cache, which is large
+	// relative to the store buffer, so the default is generous (1<<16).
+	// Set to a negative value for an unbounded read set.
+	MaxReadSet int
+
+	// Sandboxed selects Rock-style sandboxing: a transaction that
+	// dereferences freed or nil memory aborts with AbortIllegal. When false,
+	// such an access panics, modeling a segmentation fault on HTM designs
+	// without sandboxing. Defaults to true (NewHeap flips the internal
+	// representation so the zero Config is sandboxed).
+	Sandboxed bool
+
+	// NoSandbox disables sandboxing. Provided so that the zero Config is
+	// Rock-like; use this instead of Sandboxed=false.
+	NoSandbox bool
+
+	// AllowAllocInTxn permits Txn.Alloc and Txn.Free. Rock could not run the
+	// CAS-based malloc inside transactions (paper §6), so the paper's
+	// algorithms pre-allocate outside transactions; this switch models a
+	// TM-aware allocator on a future HTM.
+	AllowAllocInTxn bool
+
+	// MaxRetries is the number of attempts Thread.Atomic makes before either
+	// engaging the TLE fallback lock (EnableTLE) or panicking. Defaults to
+	// 256.
+	MaxRetries int
+
+	// EnableTLE enables the transactional-lock-elision fallback described in
+	// paper §6: after MaxRetries failed attempts the operation runs under a
+	// global lock that every transaction monitors.
+	EnableTLE bool
+
+	// YieldEvery makes a running transaction yield the processor after every
+	// N transactional accesses (0 = never). On hosts with fewer cores than
+	// simulated threads, goroutines otherwise run whole transactions within
+	// one scheduler quantum and cross-thread conflicts almost never occur;
+	// yielding mid-transaction restores the property that a transaction
+	// occupies a window of real time during which other "cores" run, so the
+	// conflict/abort gradient the paper sweeps is reproduced. Benchmarks set
+	// this; unit tests of engine semantics leave it 0.
+	YieldEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Words <= 0 {
+		c.Words = defaultHeapWords
+	}
+	if c.StoreBufferSize == 0 {
+		c.StoreBufferSize = RockStoreBufferSize
+	}
+	if c.MaxReadSet == 0 {
+		c.MaxReadSet = defaultMaxReadSet
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = defaultMaxRetries
+	}
+	c.Sandboxed = !c.NoSandbox
+	return c
+}

@@ -1,0 +1,182 @@
+package htm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// orec encoding: bit 0 is the lock bit; the remaining 63 bits are the version
+// number, drawn from the heap's global clock.
+const orecLockBit uint64 = 1
+
+func orecVersion(o uint64) uint64 { return o >> 1 }
+func orecLocked(o uint64) bool    { return o&orecLockBit != 0 }
+func makeOrec(version uint64) uint64 {
+	return version << 1
+}
+
+// Heap is a simulated word-addressable memory with a built-in allocator and a
+// transactional engine. All concurrent access — transactional or not — must
+// go through its methods; a Heap is safe for use by multiple goroutines.
+type Heap struct {
+	cfg Config
+
+	words []atomic.Uint64 // word values
+	orecs []atomic.Uint64 // per-word versioned locks
+	gens  []atomic.Uint32 // per-word allocation generation; odd = allocated
+
+	clock atomic.Uint64 // global version clock
+
+	// TLE fallback lock: fallbackSeq is even when free and odd while held;
+	// transactions snapshot it at begin and validate it at commit.
+	// activeCommits counts write transactions currently in their commit
+	// write-back, so a fallback acquirer can wait them out.
+	fallbackSeq   atomic.Uint64
+	fallbackMu    sync.Mutex
+	activeCommits atomic.Uint64
+
+	alloc   allocator
+	stats   stats
+	nextTID atomic.Uint64
+
+	// ntAccesses drives cooperative yields for non-transactional accesses
+	// when Config.YieldEvery is set, so that HTM-free algorithms pay the
+	// same simulated per-access time as transactional ones on
+	// under-provisioned hosts.
+	ntAccesses atomic.Uint64
+}
+
+// NewHeap creates a Heap with the given configuration (zero value for
+// Rock-like defaults).
+func NewHeap(cfg Config) *Heap {
+	cfg = cfg.withDefaults()
+	h := &Heap{
+		cfg:   cfg,
+		words: make([]atomic.Uint64, cfg.Words),
+		orecs: make([]atomic.Uint64, cfg.Words),
+		gens:  make([]atomic.Uint32, cfg.Words),
+	}
+	h.alloc.init(h)
+	return h
+}
+
+// Config returns the effective configuration of the heap.
+func (h *Heap) Config() Config { return h.cfg }
+
+// valid reports whether a is a non-nil address inside the arena.
+func (h *Heap) valid(a Addr) bool {
+	return a != NilAddr && int(a) < len(h.words)
+}
+
+// allocated reports whether the word at a is currently allocated.
+func (h *Heap) allocated(a Addr) bool {
+	return h.valid(a) && h.gens[a].Load()&1 == 1
+}
+
+// maybeYieldNT models access time for non-transactional operations; see
+// Config.YieldEvery. A shared counter (cheap on the hosts where this is on)
+// spreads yields evenly across all NT traffic.
+func (h *Heap) maybeYieldNT() {
+	if y := h.cfg.YieldEvery; y > 0 {
+		if h.ntAccesses.Add(1)%uint64(y) == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (h *Heap) checkNT(a Addr, op string) {
+	if !h.valid(a) {
+		panic(fmt.Sprintf("htm: non-transactional %s through invalid address %#x (simulated segmentation fault)", op, uint32(a)))
+	}
+	if h.gens[a].Load()&1 == 0 {
+		panic(fmt.Sprintf("htm: non-transactional %s of freed word %#x (simulated segmentation fault)", op, uint32(a)))
+	}
+}
+
+// lockOrec spin-acquires the ownership record for a and returns the
+// pre-acquisition orec value.
+func (h *Heap) lockOrec(a Addr) uint64 {
+	for {
+		o := h.orecs[a].Load()
+		if !orecLocked(o) && h.orecs[a].CompareAndSwap(o, o|orecLockBit) {
+			return o
+		}
+	}
+}
+
+// releaseOrec publishes a new version for a previously locked orec.
+func (h *Heap) releaseOrec(a Addr, version uint64) {
+	h.orecs[a].Store(makeOrec(version))
+}
+
+// releaseOrecUnchanged unlocks an orec without changing its version, used
+// when a locked word was not actually modified.
+func (h *Heap) releaseOrecUnchanged(a Addr, prev uint64) {
+	h.orecs[a].Store(prev)
+}
+
+// LoadNT performs a non-transactional (strongly atomic) load of the word at
+// a. It panics if a is invalid or freed, modeling a segmentation fault:
+// correct non-transactional code never touches freed memory.
+func (h *Heap) LoadNT(a Addr) uint64 {
+	h.maybeYieldNT()
+	h.checkNT(a, "load")
+	for {
+		o1 := h.orecs[a].Load()
+		if orecLocked(o1) {
+			continue
+		}
+		v := h.words[a].Load()
+		if h.orecs[a].Load() == o1 {
+			return v
+		}
+	}
+}
+
+// StoreNT performs a non-transactional (strongly atomic) store of v to the
+// word at a. It is equivalent to — but cheaper than — a one-word transaction,
+// and conflicts correctly with concurrent transactions.
+func (h *Heap) StoreNT(a Addr, v uint64) {
+	h.maybeYieldNT()
+	h.checkNT(a, "store")
+	h.lockOrec(a)
+	h.words[a].Store(v)
+	wv := h.clock.Add(1)
+	h.releaseOrec(a, wv)
+}
+
+// CASNT performs a non-transactional compare-and-swap on the word at a,
+// returning whether the swap was performed. It models the CAS instruction
+// used by the paper's non-HTM baseline algorithms.
+func (h *Heap) CASNT(a Addr, old, new uint64) bool {
+	h.maybeYieldNT()
+	h.checkNT(a, "cas")
+	prev := h.lockOrec(a)
+	if h.words[a].Load() != old {
+		h.releaseOrecUnchanged(a, prev)
+		return false
+	}
+	h.words[a].Store(new)
+	wv := h.clock.Add(1)
+	h.releaseOrec(a, wv)
+	return true
+}
+
+// AddNT atomically adds delta to the word at a non-transactionally and
+// returns the new value.
+func (h *Heap) AddNT(a Addr, delta uint64) uint64 {
+	h.maybeYieldNT()
+	h.checkNT(a, "add")
+	h.lockOrec(a)
+	v := h.words[a].Load() + delta
+	h.words[a].Store(v)
+	wv := h.clock.Add(1)
+	h.releaseOrec(a, wv)
+	return v
+}
+
+// ClockNow returns the current value of the global version clock. It is
+// exported for tests and diagnostics.
+func (h *Heap) ClockNow() uint64 { return h.clock.Load() }

@@ -1,0 +1,104 @@
+package htm
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+const numAbortCodes = int(AbortCapacity) + 1
+
+// stats is the heap-internal statistics block, updated with atomics.
+type stats struct {
+	starts       atomic.Uint64
+	commits      atomic.Uint64
+	aborts       [numAbortCodes]atomic.Uint64
+	fallbackRuns atomic.Uint64
+	allocCalls   atomic.Uint64
+	freeCalls    atomic.Uint64
+	liveWords    atomic.Uint64
+	maxLiveWords atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of heap and transaction statistics.
+type Stats struct {
+	// Starts is the number of transaction attempts begun.
+	Starts uint64
+	// Commits is the number of attempts that committed.
+	Commits uint64
+	// Aborts counts failed attempts by reason.
+	Aborts map[AbortCode]uint64
+	// FallbackRuns is the number of operations executed under the TLE lock.
+	FallbackRuns uint64
+	// AllocCalls and FreeCalls count allocator operations.
+	AllocCalls, FreeCalls uint64
+	// LiveWords is the number of currently allocated payload words;
+	// MaxLiveWords is its high-water mark. These drive the paper's
+	// space-usage comparisons.
+	LiveWords, MaxLiveWords uint64
+}
+
+// TotalAborts returns the sum of aborts across all reasons.
+func (s Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, n := range s.Aborts {
+		t += n
+	}
+	return t
+}
+
+// AbortRate returns aborted attempts as a fraction of all attempts, or 0 if
+// no attempts were made.
+func (s Stats) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.TotalAborts()) / float64(s.Starts)
+}
+
+// String renders the snapshot as a single diagnostic line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "starts=%d commits=%d aborts=%d (", s.Starts, s.Commits, s.TotalAborts())
+	first := true
+	for c := AbortConflict; c <= AbortCapacity; c++ {
+		if n := s.Aborts[c]; n > 0 {
+			if !first {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d", c, n)
+			first = false
+		}
+	}
+	fmt.Fprintf(&b, ") fallback=%d alloc=%d free=%d live=%dw maxLive=%dw",
+		s.FallbackRuns, s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords)
+	return b.String()
+}
+
+// Stats returns a snapshot of the heap's counters. Counters are read without
+// mutual exclusion, so concurrent activity may be partially reflected; this
+// is acceptable for the reporting the snapshot feeds.
+func (h *Heap) Stats() Stats {
+	s := Stats{
+		Starts:       h.stats.starts.Load(),
+		Commits:      h.stats.commits.Load(),
+		Aborts:       make(map[AbortCode]uint64, numAbortCodes),
+		FallbackRuns: h.stats.fallbackRuns.Load(),
+		AllocCalls:   h.stats.allocCalls.Load(),
+		FreeCalls:    h.stats.freeCalls.Load(),
+		LiveWords:    h.stats.liveWords.Load(),
+		MaxLiveWords: h.stats.maxLiveWords.Load(),
+	}
+	for c := 1; c < numAbortCodes; c++ {
+		if n := h.stats.aborts[c].Load(); n > 0 {
+			s.Aborts[AbortCode(c)] = n
+		}
+	}
+	return s
+}
+
+// ResetMaxLive resets the live-words high-water mark to the current live
+// count, so space measurements can be scoped to an experiment phase.
+func (h *Heap) ResetMaxLive() {
+	h.stats.maxLiveWords.Store(h.stats.liveWords.Load())
+}

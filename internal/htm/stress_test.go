@@ -1,0 +1,280 @@
+package htm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestStressBankTransfer checks serializability: concurrent transfers between
+// accounts conserve the total balance.
+func TestStressBankTransfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h := newTestHeap(t, Config{})
+	setup := h.NewThread()
+	const accounts = 16
+	const initial = 1000
+	arr := setup.Alloc(accounts)
+	for i := Addr(0); i < accounts; i++ {
+		h.StoreNT(arr+i, initial)
+	}
+	const workers, transfers = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := h.NewThread()
+			rng := seed*2654435761 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < transfers; i++ {
+				from := Addr(next() % accounts)
+				to := Addr(next() % accounts)
+				amt := next() % 10
+				th.Atomic(func(tx *Txn) {
+					f := tx.Load(arr + from)
+					if f < amt {
+						return
+					}
+					tx.Store(arr+from, f-amt)
+					tx.Store(arr+to, tx.Load(arr+to)+amt)
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var total uint64
+	for i := Addr(0); i < accounts; i++ {
+		total += h.LoadNT(arr + i)
+	}
+	if total != accounts*initial {
+		t.Errorf("total balance = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestStressAllocFree hammers the allocator from many goroutines and checks
+// that no live block is ever handed out twice.
+func TestStressAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h := NewHeap(Config{Words: 1 << 18})
+	const workers, rounds = 8, 3000
+	var mu sync.Mutex
+	live := make(map[Addr]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := h.NewThread()
+			var mine []Addr
+			rng := seed | 1
+			for i := 0; i < rounds; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if rng%3 != 0 || len(mine) == 0 {
+					size := int(rng%7) + 1
+					a := th.Alloc(size)
+					mu.Lock()
+					if _, dup := live[a]; dup {
+						mu.Unlock()
+						t.Errorf("block %#x allocated twice", uint32(a))
+						return
+					}
+					live[a] = size
+					mu.Unlock()
+					mine = append(mine, a)
+				} else {
+					a := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					mu.Lock()
+					delete(live, a)
+					mu.Unlock()
+					th.Free(a)
+				}
+			}
+			for _, a := range mine {
+				mu.Lock()
+				delete(live, a)
+				mu.Unlock()
+				th.Free(a)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if got := h.Stats().LiveWords; got != 0 {
+		t.Errorf("LiveWords = %d after freeing everything", got)
+	}
+}
+
+// TestStressFreeUnderReaders frees and reallocates blocks while transactional
+// readers chase a published pointer; sandboxing must convert every
+// use-after-free into a clean abort and readers must never observe a torn
+// object.
+func TestStressFreeUnderReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h := newTestHeap(t, Config{})
+	setup := h.NewThread()
+	// ptr -> block of 2 words, both holding the same value.
+	ptr := setup.Alloc(1)
+	blk := setup.Alloc(2)
+	h.StoreNT(blk, 1)
+	h.StoreNT(blk+1, 1)
+	h.StoreNT(ptr, uint64(blk))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mutator: swap in a fresh block, free the old one
+		defer wg.Done()
+		th := h.NewThread()
+		for i := uint64(2); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nb := th.Alloc(2)
+			h.StoreNT(nb, i)
+			h.StoreNT(nb+1, i)
+			var old Addr
+			th.Atomic(func(tx *Txn) {
+				old = Addr(tx.Load(ptr))
+				tx.Store(ptr, uint64(nb))
+				tx.FreeOnCommit(old)
+			})
+		}
+	}()
+	errs := make(chan string, 4)
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			th := h.NewThread()
+			for i := 0; i < 3000; i++ {
+				var x, y uint64
+				th.Atomic(func(tx *Txn) {
+					b := Addr(tx.Load(ptr))
+					x = tx.Load(b)
+					y = tx.Load(b + 1)
+				})
+				if x != y {
+					errs <- "torn object observed through freed/reused memory"
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// Property: committing a batch of writes and reading them back transactionally
+// returns exactly the written values (round-trip through the TM engine).
+func TestQuickTxnRoundTrip(t *testing.T) {
+	h := newTestHeap(t, Config{StoreBufferSize: -1})
+	th := h.NewThread()
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 128 {
+			vals = vals[:128]
+		}
+		a := th.Alloc(len(vals))
+		defer th.Free(a)
+		th.Atomic(func(tx *Txn) {
+			for i, v := range vals {
+				tx.Store(a+Addr(i), v)
+			}
+		})
+		ok := true
+		th.Atomic(func(tx *Txn) {
+			ok = true
+			for i, v := range vals {
+				if tx.Load(a+Addr(i)) != v {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the allocator never returns overlapping blocks, for arbitrary
+// size sequences.
+func TestQuickAllocatorNoOverlap(t *testing.T) {
+	h := NewHeap(Config{Words: 1 << 18})
+	th := h.NewThread()
+	type span struct{ lo, hi Addr }
+	f := func(sizes []uint8) bool {
+		var spans []span
+		var addrs []Addr
+		for _, s := range sizes {
+			size := int(s%32) + 1
+			a := th.Alloc(size)
+			for _, sp := range spans {
+				if a < sp.hi && sp.lo < a+Addr(size) {
+					return false
+				}
+			}
+			spans = append(spans, span{a, a + Addr(size)})
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			th.Free(a)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TryAtomic returns either nil or an *AbortError, never another
+// error type.
+func TestQuickTryAtomicErrorDiscipline(t *testing.T) {
+	h := newTestHeap(t, Config{StoreBufferSize: 4})
+	th := h.NewThread()
+	a := th.Alloc(16)
+	f := func(n uint8, explicit bool) bool {
+		err := th.TryAtomic(func(tx *Txn) {
+			for i := Addr(0); i < Addr(n%16); i++ {
+				tx.Store(a+i, uint64(i))
+			}
+			if explicit {
+				tx.Abort()
+			}
+		})
+		if err == nil {
+			return !explicit && n%16 <= 4
+		}
+		var ab *AbortError
+		return errors.As(err, &ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package htm
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Thread is a per-goroutine execution context: it carries the transaction
+// descriptor, the allocator home shard, backoff state and per-thread
+// statistics. Create one Thread per worker goroutine with Heap.NewThread; a
+// Thread must not be shared between goroutines.
+type Thread struct {
+	h     *Heap
+	id    uint64
+	shard int
+	rng   uint64
+	txn   Txn
+	inTxn bool
+
+	// prevOrecs is scratch space reused by commits.
+	prevOrecs []uint64
+
+	// Attempt outcome counters for this thread.
+	attempts uint64
+	commits  uint64
+}
+
+// NewThread creates an execution context bound to the heap. Each worker
+// goroutine needs its own Thread.
+func (h *Heap) NewThread() *Thread {
+	id := h.nextTID.Add(1)
+	th := &Thread{
+		h:     h,
+		id:    id,
+		shard: int(id) & (len(h.alloc.shards) - 1),
+		rng:   id*0x9E3779B97F4A7C15 | 1,
+	}
+	th.txn.th = th
+	th.txn.h = h
+	return th
+}
+
+// ID returns the thread's unique identifier (1-based).
+func (th *Thread) ID() uint64 { return th.id }
+
+// Heap returns the heap this thread operates on.
+func (th *Thread) Heap() *Heap { return th.h }
+
+// Alloc allocates a zeroed block of size words outside any transaction.
+func (th *Thread) Alloc(size int) Addr {
+	return th.h.alloc.alloc(th.shard, size)
+}
+
+// Free returns the block whose payload starts at a to the heap. Freeing
+// memory that a concurrent transaction is using is safe: the transaction
+// aborts (sandboxing) instead of observing reused memory.
+func (th *Thread) Free(a Addr) {
+	th.h.alloc.free(th.shard, a)
+}
+
+// BlockSize returns the payload size in words of the allocated block at a.
+func (th *Thread) BlockSize(a Addr) int { return th.h.alloc.blockSize(a) }
+
+// xorshift PRNG for backoff jitter.
+func (th *Thread) rand() uint64 {
+	x := th.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	th.rng = x
+	return x
+}
+
+// backoff spins for an exponentially growing, jittered interval after the
+// given number of consecutive failed attempts.
+func (th *Thread) backoff(attempt int) {
+	if attempt > 16 {
+		attempt = 16
+	}
+	max := uint64(1) << uint(attempt)
+	n := th.rand() % max
+	for i := uint64(0); i < n; i++ {
+		spinHint()
+	}
+	if attempt >= 8 {
+		runtime.Gosched()
+	}
+}
+
+// spinHint is a cheap CPU pause used in backoff loops.
+//
+//go:noinline
+func spinHint() {}
+
+// begin initializes the reusable transaction descriptor for an attempt,
+// waiting out any active TLE fallback critical section first.
+func (th *Thread) begin() *Txn {
+	t := &th.txn
+	t.reset()
+	h := th.h
+	for {
+		seq := h.fallbackSeq.Load()
+		if seq&1 == 0 {
+			t.fbSeq = seq
+			break
+		}
+		runtime.Gosched()
+	}
+	t.rv = h.clock.Load()
+	th.attempts++
+	h.stats.starts.Add(1)
+	return t
+}
+
+// TryAtomic executes f as a single transaction attempt. It returns nil if
+// the attempt committed and an *AbortError describing the failure otherwise.
+// Use it when the caller manages retries itself — for example the telescoping
+// Collect loops, which adapt their step size to abort feedback.
+//
+// f may be re-executed by other calls and must be restartable; see Txn.
+func (th *Thread) TryAtomic(f func(*Txn)) (err error) {
+	if th.inTxn {
+		panic("htm: nested transactions are not supported")
+	}
+	th.inTxn = true
+	t := th.begin()
+	defer func() {
+		th.inTxn = false
+		if r := recover(); r != nil {
+			ab, ok := r.(txnAbort)
+			if !ok {
+				panic(r) // user panic: propagate
+			}
+			t.rollbackAllocs()
+			th.h.stats.aborts[ab.code].Add(1)
+			err = &AbortError{Code: ab.code, Addr: ab.addr}
+		}
+	}()
+	f(t)
+	t.commit()
+	th.commits++
+	th.h.stats.commits.Add(1)
+	return nil
+}
+
+// Atomic executes f atomically, retrying with exponential backoff until it
+// commits. If the heap enables TLE and an attempt fails MaxRetries times, f
+// runs under the global fallback lock (paper §6). Without TLE, a transaction
+// that deterministically overflows the store buffer panics rather than
+// retrying forever.
+func (th *Thread) Atomic(f func(*Txn)) {
+	for attempt := 0; ; attempt++ {
+		err := th.TryAtomic(f)
+		if err == nil {
+			return
+		}
+		ab := err.(*AbortError)
+		cfg := &th.h.cfg
+		if cfg.EnableTLE && attempt+1 >= cfg.MaxRetries {
+			th.runFallback(f)
+			return
+		}
+		if ab.Code == AbortOverflow && !cfg.EnableTLE {
+			// Deterministic failure: the same body will overflow again.
+			panic(fmt.Sprintf("htm: transaction overflows the %d-entry store buffer and no TLE fallback is enabled: %v", cfg.StoreBufferSize, err))
+		}
+		th.backoff(attempt)
+	}
+}
+
+// runFallback executes f under the global fallback lock with direct (non
+// buffered) memory access, mutually exclusive with all transaction commits.
+func (th *Thread) runFallback(f func(*Txn)) {
+	h := th.h
+	h.fallbackMu.Lock()
+	defer h.fallbackMu.Unlock()
+	h.fallbackSeq.Add(1) // odd: lock held; new transactions wait
+	// Wait for in-flight commits to drain.
+	for h.activeCommits.Load() != 0 {
+		runtime.Gosched()
+	}
+	t := &th.txn
+	t.reset()
+	t.direct = true
+	th.inTxn = true
+	defer func() {
+		th.inTxn = false
+		h.fallbackSeq.Add(1) // even: released
+	}()
+	f(t)
+	t.commit()
+	h.stats.fallbackRuns.Add(1)
+}
+
+// AttemptStats returns the number of transaction attempts and commits made
+// by this thread.
+func (th *Thread) AttemptStats() (attempts, commits uint64) {
+	return th.attempts, th.commits
+}

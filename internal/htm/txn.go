@@ -1,0 +1,336 @@
+package htm
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// txnAbort is the internal panic payload used to unwind a failed transaction
+// attempt back to the retry loop. It is distinct from AbortError so that user
+// panics are never mistaken for engine aborts.
+type txnAbort struct {
+	code AbortCode
+	addr Addr
+}
+
+type readEntry struct {
+	addr Addr
+	ver  uint64
+}
+
+type writeEntry struct {
+	addr Addr
+	val  uint64
+}
+
+// Txn is a transaction in progress. A Txn is valid only inside the function
+// passed to Thread.Atomic or Thread.TryAtomic, and only on that goroutine.
+//
+// The transaction body may be re-executed after an abort, so it must be
+// restartable: accumulate results in locals that are reset at the top of the
+// body, and publish them only after Atomic returns.
+type Txn struct {
+	th     *Thread
+	h      *Heap
+	rv     uint64 // read validity timestamp
+	fbSeq  uint64 // fallback-lock sequence observed at begin
+	reads  []readEntry
+	writes []writeEntry
+	frees  []Addr // to free after commit
+	allocs []Addr // allocated inside the txn; rolled back on abort
+	direct bool   // executing under the TLE fallback lock
+}
+
+func (t *Txn) abort(code AbortCode, a Addr) {
+	panic(txnAbort{code: code, addr: a})
+}
+
+// Abort explicitly aborts the current transaction attempt. Thread.Atomic
+// retries it; Thread.TryAtomic reports it as an *AbortError with
+// AbortExplicit.
+func (t *Txn) Abort() {
+	t.abort(AbortExplicit, NilAddr)
+}
+
+// checkAccess validates that a names an allocated word, aborting with
+// AbortIllegal under sandboxing or panicking (simulated segmentation fault)
+// otherwise.
+func (t *Txn) checkAccess(a Addr, op string) {
+	if t.h.valid(a) && t.h.gens[a].Load()&1 == 1 {
+		return
+	}
+	if t.h.cfg.Sandboxed && !t.direct {
+		t.abort(AbortIllegal, a)
+	}
+	panic(fmt.Sprintf("htm: transactional %s of invalid or freed address %#x without sandboxing (simulated segmentation fault)", op, uint32(a)))
+}
+
+// validate checks that every read performed so far still holds the version
+// it held when read. Words locked by this transaction's own commit are
+// checked against their pre-lock versions by the caller.
+func (t *Txn) validate() bool {
+	for i := range t.reads {
+		r := &t.reads[i]
+		o := t.h.orecs[r.addr].Load()
+		if orecLocked(o) || orecVersion(o) != r.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// extend attempts to move the read validity timestamp forward after
+// encountering a word newer than rv, aborting on any stale read. This gives
+// the engine HTM-like conflict behaviour: transactions abort only when a word
+// they actually read or wrote is modified concurrently.
+func (t *Txn) extend() {
+	// A timestamp extension across a TLE fallback acquisition could mix
+	// pre- and post-critical-section state; abort instead, exactly as a
+	// hardware transaction holding the lock word in its read set would.
+	if t.h.fallbackSeq.Load() != t.fbSeq {
+		t.abort(AbortFallback, NilAddr)
+	}
+	now := t.h.clock.Load()
+	if !t.validate() {
+		t.abort(AbortConflict, NilAddr)
+	}
+	t.rv = now
+}
+
+// maybeYield models transaction duration on under-provisioned hosts; see
+// Config.YieldEvery. The yield decision is randomized (expected one yield per
+// YieldEvery accesses): a deterministic cadence would park every attempt of a
+// given transaction at the same point — e.g. right before commit — making
+// hot-word conflicts certain instead of probable and livelocking retries.
+func (t *Txn) maybeYield() {
+	if y := t.h.cfg.YieldEvery; y > 0 {
+		if t.th.rand()%uint64(y) == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Load transactionally reads the word at a.
+func (t *Txn) Load(a Addr) uint64 {
+	if t.direct {
+		t.checkAccess(a, "load")
+		return t.h.LoadNT(a)
+	}
+	t.maybeYield()
+	t.checkAccess(a, "load")
+	for i := range t.writes {
+		if t.writes[i].addr == a {
+			return t.writes[i].val
+		}
+	}
+	for spins := 0; ; spins++ {
+		o1 := t.h.orecs[a].Load()
+		if orecLocked(o1) {
+			if spins < 64 {
+				continue // writer is in its (short) commit write-back
+			}
+			t.abort(AbortConflict, a)
+		}
+		v := t.h.words[a].Load()
+		if t.h.orecs[a].Load() != o1 {
+			continue
+		}
+		if orecVersion(o1) > t.rv {
+			t.extend()
+			// The word may have changed again between the value read and the
+			// extension; re-read under the new timestamp.
+			if t.h.orecs[a].Load() != o1 {
+				continue
+			}
+		}
+		if t.h.cfg.MaxReadSet >= 0 && len(t.reads) >= t.h.cfg.MaxReadSet {
+			t.abort(AbortCapacity, a)
+		}
+		t.reads = append(t.reads, readEntry{addr: a, ver: orecVersion(o1)})
+		return v
+	}
+}
+
+// Store transactionally writes v to the word at a. Writes are buffered and
+// become visible atomically at commit. Writing more distinct words than the
+// configured store buffer size aborts with AbortOverflow, reproducing Rock's
+// bounded transactions.
+func (t *Txn) Store(a Addr, v uint64) {
+	if t.direct {
+		t.checkAccess(a, "store")
+		t.h.StoreNT(a, v)
+		return
+	}
+	t.maybeYield()
+	t.checkAccess(a, "store")
+	for i := range t.writes {
+		if t.writes[i].addr == a {
+			t.writes[i].val = v
+			return
+		}
+	}
+	if t.h.cfg.StoreBufferSize >= 0 && len(t.writes) >= t.h.cfg.StoreBufferSize {
+		t.abort(AbortOverflow, a)
+	}
+	t.writes = append(t.writes, writeEntry{addr: a, val: v})
+}
+
+// Add transactionally adds delta to the word at a and returns the new value.
+func (t *Txn) Add(a Addr, delta uint64) uint64 {
+	v := t.Load(a) + delta
+	t.Store(a, v)
+	return v
+}
+
+// FreeOnCommit schedules the block whose payload starts at a to be freed
+// after — and only if — this transaction commits. This is the paper's idiom
+// of freeing memory immediately after the transaction that unlinks it (e.g.
+// the HTM queue's dequeue, or line 130 of the ArrayDynAppendDereg
+// pseudocode).
+func (t *Txn) FreeOnCommit(a Addr) {
+	t.frees = append(t.frees, a)
+}
+
+// Alloc allocates a zeroed block of size words inside the transaction,
+// rolled back if the transaction aborts. It panics unless the heap was
+// configured with AllowAllocInTxn: Rock could not execute the CAS-based
+// malloc inside transactions (paper §6), so the paper's algorithms
+// pre-allocate outside transactions.
+func (t *Txn) Alloc(size int) Addr {
+	if !t.h.cfg.AllowAllocInTxn {
+		panic("htm: Txn.Alloc requires Config.AllowAllocInTxn (Rock cannot allocate inside transactions; pre-allocate outside, as the paper's algorithms do)")
+	}
+	a := t.th.Alloc(size)
+	if !t.direct {
+		t.allocs = append(t.allocs, a)
+	}
+	return a
+}
+
+// rollbackAllocs frees blocks allocated inside an aborted attempt.
+func (t *Txn) rollbackAllocs() {
+	for _, a := range t.allocs {
+		t.th.Free(a)
+	}
+	t.allocs = t.allocs[:0]
+}
+
+// commit attempts to atomically publish the transaction's writes. It aborts
+// (panics with txnAbort) on validation failure.
+func (t *Txn) commit() {
+	h := t.h
+	if t.direct {
+		t.runFrees()
+		return
+	}
+	if len(t.writes) == 0 {
+		// Read-only transactions hold a consistent snapshot as of rv at all
+		// times thanks to incremental validation, so they commit for free —
+		// as on real HTM, where an uncontended read-only transaction simply
+		// commits.
+		t.runFrees()
+		return
+	}
+	// Guard against the TLE fallback lock: commits may not overlap a
+	// fallback critical section.
+	h.activeCommits.Add(1)
+	committed := false
+	defer func() {
+		if !committed {
+			h.activeCommits.Add(^uint64(0))
+		}
+	}()
+	if h.fallbackSeq.Load() != t.fbSeq {
+		t.abort(AbortFallback, NilAddr)
+	}
+
+	// Acquire ownership of the write set; on any failure release what was
+	// taken and abort.
+	acquired := 0
+	prev := t.th.prevOrecs[:0]
+	release := func() {
+		for i := 0; i < acquired; i++ {
+			h.releaseOrecUnchanged(t.writes[i].addr, prev[i])
+		}
+	}
+	for i := range t.writes {
+		a := t.writes[i].addr
+		o := h.orecs[a].Load()
+		if orecLocked(o) || !h.orecs[a].CompareAndSwap(o, o|orecLockBit) {
+			release()
+			t.abort(AbortConflict, a)
+		}
+		prev = append(prev, o)
+		acquired++
+		if h.gens[a].Load()&1 == 0 {
+			// The word was freed between our access and commit.
+			release()
+			if h.cfg.Sandboxed {
+				t.abort(AbortIllegal, a)
+			}
+			panic(fmt.Sprintf("htm: commit to freed word %#x without sandboxing", uint32(a)))
+		}
+	}
+	t.th.prevOrecs = prev
+
+	wv := h.clock.Add(1)
+
+	// Validate the read set. Words we hold locked for writing are validated
+	// against their pre-lock versions.
+	for i := range t.reads {
+		r := &t.reads[i]
+		o := h.orecs[r.addr].Load()
+		if orecLocked(o) {
+			ok := false
+			for j := range t.writes {
+				if t.writes[j].addr == r.addr {
+					ok = orecVersion(prev[j]) == r.ver
+					break
+				}
+			}
+			if ok {
+				continue
+			}
+			release()
+			t.abort(AbortConflict, r.addr)
+		}
+		if orecVersion(o) != r.ver {
+			release()
+			t.abort(AbortConflict, r.addr)
+		}
+	}
+
+	for i := range t.writes {
+		h.words[t.writes[i].addr].Store(t.writes[i].val)
+	}
+	for i := range t.writes {
+		h.releaseOrec(t.writes[i].addr, wv)
+	}
+	committed = true
+	h.activeCommits.Add(^uint64(0))
+	t.runFrees()
+}
+
+func (t *Txn) runFrees() {
+	for _, a := range t.frees {
+		t.th.Free(a)
+	}
+}
+
+// reset prepares the Txn for a fresh attempt.
+func (t *Txn) reset() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.frees = t.frees[:0]
+	t.allocs = t.allocs[:0]
+	t.direct = false
+	t.rv = 0
+	t.fbSeq = 0
+}
+
+// ReadSetSize and WriteSetSize report the current footprint of the attempt;
+// useful for tests and for algorithms that adapt transaction size.
+func (t *Txn) ReadSetSize() int { return len(t.reads) }
+
+// WriteSetSize reports the number of distinct words buffered for writing.
+func (t *Txn) WriteSetSize() int { return len(t.writes) }

@@ -1,0 +1,128 @@
+package queue
+
+import (
+	"repro/internal/htm"
+)
+
+// Counted (tagged) pointers: address in the low 32 bits, modification tag in
+// the high 32. The Michael-Scott queue recycles nodes through thread-local
+// pools, so a plain CAS would be vulnerable to ABA — the tag is the classic
+// remedy, and one of the complexities the HTM queue simply does not have.
+func tagPtr(p htm.Addr, tag uint64) uint64 { return uint64(p) | tag<<32 }
+func ptrOf(f uint64) htm.Addr              { return htm.Addr(f & 0xFFFFFFFF) }
+func tagOf(f uint64) uint64                { return f >> 32 }
+
+// MSQueue descriptor layout: tagged head and tail pointers.
+const (
+	msHead = iota
+	msTail
+	msDescWords
+)
+
+// MSQueue is the Michael-Scott lock-free FIFO (PODC '96) with per-thread
+// node pools: a dequeued node goes back to the dequeuer's pool and is reused
+// by its next enqueue, but is never freed. Even in a quiescent state the
+// memory consumed is proportional to the historical maximum queue size —
+// the space disadvantage the paper's §1.1 calls out.
+type MSQueue struct {
+	h    *htm.Heap
+	desc htm.Addr
+}
+
+var _ Queue = (*MSQueue)(nil)
+
+type msPriv struct {
+	pool []htm.Addr
+}
+
+// NewMSQueue allocates an empty queue (one dummy node) on h.
+func NewMSQueue(h *htm.Heap) *MSQueue {
+	th := h.NewThread()
+	q := &MSQueue{h: h, desc: th.Alloc(msDescWords)}
+	dummy := th.Alloc(qNodeWords)
+	h.StoreNT(q.desc+msHead, tagPtr(dummy, 0))
+	h.StoreNT(q.desc+msTail, tagPtr(dummy, 0))
+	return q
+}
+
+// Name implements Queue.
+func (q *MSQueue) Name() string { return "Michael-Scott" }
+
+// NewCtx implements Queue.
+func (q *MSQueue) NewCtx(th *htm.Thread) *Ctx {
+	return &Ctx{th: th, priv: &msPriv{}}
+}
+
+func (q *MSQueue) allocNode(c *Ctx) htm.Addr {
+	p := c.priv.(*msPriv)
+	if n := len(p.pool); n > 0 {
+		a := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		return a
+	}
+	return c.th.Alloc(qNodeWords)
+}
+
+func (q *MSQueue) recycle(c *Ctx, n htm.Addr) {
+	p := c.priv.(*msPriv)
+	p.pool = append(p.pool, n)
+}
+
+// Enqueue implements Queue — the original two-phase MS enqueue with helping:
+// link the node after the last one, then swing the tail, helping a lagging
+// tail forward when necessary.
+func (q *MSQueue) Enqueue(c *Ctx, v uint64) {
+	h := c.th.Heap()
+	n := q.allocNode(c)
+	h.StoreNT(n+qVal, v)
+	// Reset the recycled node's next pointer, advancing its tag so that
+	// pending CASes against its old identity fail.
+	old := h.LoadNT(n + qNext)
+	h.StoreNT(n+qNext, tagPtr(htm.NilAddr, tagOf(old)+1))
+	for {
+		tail := h.LoadNT(q.desc + msTail)
+		next := h.LoadNT(ptrOf(tail) + qNext)
+		if tail != h.LoadNT(q.desc+msTail) {
+			continue
+		}
+		if ptrOf(next) == htm.NilAddr {
+			if h.CASNT(ptrOf(tail)+qNext, next, tagPtr(n, tagOf(next)+1)) {
+				h.CASNT(q.desc+msTail, tail, tagPtr(n, tagOf(tail)+1))
+				return
+			}
+		} else {
+			h.CASNT(q.desc+msTail, tail, tagPtr(ptrOf(next), tagOf(tail)+1))
+		}
+	}
+}
+
+// Dequeue implements Queue — the original MS dequeue: the value is read from
+// the new dummy before the head swings, and the old dummy is recycled into
+// the dequeuer's pool.
+func (q *MSQueue) Dequeue(c *Ctx) (uint64, bool) {
+	h := c.th.Heap()
+	for {
+		head := h.LoadNT(q.desc + msHead)
+		tail := h.LoadNT(q.desc + msTail)
+		next := h.LoadNT(ptrOf(head) + qNext)
+		if head != h.LoadNT(q.desc+msHead) {
+			continue
+		}
+		if ptrOf(head) == ptrOf(tail) {
+			if ptrOf(next) == htm.NilAddr {
+				return 0, false
+			}
+			h.CASNT(q.desc+msTail, tail, tagPtr(ptrOf(next), tagOf(tail)+1))
+			continue
+		}
+		v := h.LoadNT(ptrOf(next) + qVal)
+		if h.CASNT(q.desc+msHead, head, tagPtr(ptrOf(next), tagOf(head)+1)) {
+			q.recycle(c, ptrOf(head))
+			return v, true
+		}
+	}
+}
+
+// PoolSize returns this context's private pool length (diagnostic for the
+// historical-max space property).
+func (q *MSQueue) PoolSize(c *Ctx) int { return len(c.priv.(*msPriv).pool) }

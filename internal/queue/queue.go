@@ -1,0 +1,62 @@
+// Package queue implements the paper's motivating example (§1.1, Figure 1):
+// three concurrent FIFO queues on the simulated heap.
+//
+//   - HTMQueue: simple sequential code inside hardware transactions. A
+//     dequeue frees its node immediately; a racing transaction that still
+//     holds a reference aborts via sandboxing instead of crashing. This is
+//     the "reasonable homework exercise" algorithm.
+//   - MSQueue: the Michael-Scott lock-free queue with per-thread node pools.
+//     Nodes are recycled but never freed, so quiescent memory is proportional
+//     to the historical maximum queue size, and counted (tagged) pointers are
+//     needed against ABA.
+//   - MSQueueROP: the Michael-Scott queue with hazard-pointer (ROP)
+//     reclamation, which can truly free nodes at the cost of
+//     announce/validate/scan overhead on every operation.
+//
+// All three share a Queue interface over per-thread contexts.
+package queue
+
+import (
+	"repro/internal/htm"
+)
+
+// Node layout shared by all queues: a value and a next pointer (the MS
+// queues pack a modification tag into the next word's high bits).
+const (
+	qVal = iota
+	qNext
+	qNodeWords
+)
+
+// Queue is a concurrent FIFO of word-sized values.
+type Queue interface {
+	// Name returns the implementation's name as used in Figure 1.
+	Name() string
+	// NewCtx creates a per-goroutine execution context.
+	NewCtx(th *htm.Thread) *Ctx
+	// Enqueue appends v.
+	Enqueue(c *Ctx, v uint64)
+	// Dequeue removes and returns the head value; ok is false when empty.
+	Dequeue(c *Ctx) (v uint64, ok bool)
+}
+
+// Ctx is a per-thread queue context (htm thread, node pool or hazard record).
+type Ctx struct {
+	th   *htm.Thread
+	priv any
+}
+
+// Thread returns the underlying htm thread.
+func (c *Ctx) Thread() *htm.Thread { return c.th }
+
+// Drain dequeues until empty and returns the values (test helper).
+func Drain(q Queue, c *Ctx) []uint64 {
+	var out []uint64
+	for {
+		v, ok := q.Dequeue(c)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

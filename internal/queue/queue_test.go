@@ -1,0 +1,316 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/htm"
+)
+
+type qimpl struct {
+	name string
+	mk   func(h *htm.Heap) Queue
+	// reclaims reports whether dequeued nodes are returned to the allocator.
+	reclaims bool
+}
+
+func qimpls() []qimpl {
+	return []qimpl{
+		{"HTM", func(h *htm.Heap) Queue { return NewHTMQueue(h) }, true},
+		{"MichaelScott", func(h *htm.Heap) Queue { return NewMSQueue(h) }, false},
+		{"MichaelScottROP", func(h *htm.Heap) Queue { return NewMSQueueROP(h) }, true},
+	}
+}
+
+func closeCtx(q Queue, c *Ctx) {
+	if rop, ok := q.(*MSQueueROP); ok {
+		rop.CloseCtx(c)
+	}
+}
+
+func forEachQueue(t *testing.T, f func(t *testing.T, im qimpl, q Queue, h *htm.Heap)) {
+	t.Helper()
+	for _, im := range qimpls() {
+		t.Run(im.name, func(t *testing.T) {
+			h := htm.NewHeap(htm.Config{Words: 1 << 18})
+			f(t, im, im.mk(h), h)
+		})
+	}
+}
+
+func TestQueueEmptyDequeue(t *testing.T) {
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		c := q.NewCtx(h.NewThread())
+		defer closeCtx(q, c)
+		if _, ok := q.Dequeue(c); ok {
+			t.Error("Dequeue on empty queue returned a value")
+		}
+	})
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		c := q.NewCtx(h.NewThread())
+		defer closeCtx(q, c)
+		for i := uint64(1); i <= 100; i++ {
+			q.Enqueue(c, i)
+		}
+		for i := uint64(1); i <= 100; i++ {
+			v, ok := q.Dequeue(c)
+			if !ok || v != i {
+				t.Fatalf("Dequeue = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+		if _, ok := q.Dequeue(c); ok {
+			t.Error("queue should be empty")
+		}
+	})
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		c := q.NewCtx(h.NewThread())
+		defer closeCtx(q, c)
+		next := uint64(1)
+		expect := uint64(1)
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 3; i++ {
+				q.Enqueue(c, next)
+				next++
+			}
+			for i := 0; i < 2; i++ {
+				v, ok := q.Dequeue(c)
+				if !ok || v != expect {
+					t.Fatalf("Dequeue = (%d, %v), want (%d, true)", v, ok, expect)
+				}
+				expect++
+			}
+		}
+	})
+}
+
+// TestQueueConcurrentConservation: N producers and M consumers; every
+// enqueued value is dequeued exactly once.
+func TestQueueConcurrentConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		const producers, consumers, perProducer = 4, 4, 2000
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(id uint64) {
+				defer wg.Done()
+				c := q.NewCtx(h.NewThread())
+				defer closeCtx(q, c)
+				for i := uint64(0); i < perProducer; i++ {
+					q.Enqueue(c, id<<32|i|1<<63)
+				}
+			}(uint64(p))
+		}
+		var mu sync.Mutex
+		seen := make(map[uint64]int)
+		prodDone := make(chan struct{})
+		go func() { wg.Wait(); close(prodDone) }()
+		var cwg sync.WaitGroup
+		for cn := 0; cn < consumers; cn++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				c := q.NewCtx(h.NewThread())
+				defer closeCtx(q, c)
+				var local []uint64
+				for {
+					v, ok := q.Dequeue(c)
+					if ok {
+						local = append(local, v)
+						continue
+					}
+					select {
+					case <-prodDone:
+						// One final drain after producers finished.
+						if v, ok := q.Dequeue(c); ok {
+							local = append(local, v)
+							continue
+						}
+						mu.Lock()
+						for _, v := range local {
+							seen[v]++
+						}
+						mu.Unlock()
+						return
+					default:
+					}
+				}
+			}()
+		}
+		cwg.Wait()
+		if len(seen) != producers*perProducer {
+			t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("value %#x dequeued %d times", v, n)
+			}
+		}
+	})
+}
+
+// TestQueuePerProducerOrder: values from one producer are dequeued in
+// their enqueue order (FIFO per producer under concurrency).
+func TestQueuePerProducerOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		const producers, perProducer = 3, 1500
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(id uint64) {
+				defer wg.Done()
+				c := q.NewCtx(h.NewThread())
+				defer closeCtx(q, c)
+				for i := uint64(0); i < perProducer; i++ {
+					q.Enqueue(c, id<<48|i)
+				}
+			}(uint64(p + 1))
+		}
+		c := q.NewCtx(h.NewThread())
+		defer closeCtx(q, c)
+		lastSeen := make(map[uint64]uint64)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		drained := false
+		for !drained {
+			v, ok := q.Dequeue(c)
+			if !ok {
+				select {
+				case <-done:
+					if _, ok := q.Dequeue(c); !ok {
+						drained = true
+					}
+				default:
+				}
+				continue
+			}
+			id, seq := v>>48, v&0xFFFFFFFFFFFF
+			if last, ok := lastSeen[id]; ok && seq <= last {
+				t.Fatalf("producer %d: saw seq %d after %d", id, seq, last)
+			}
+			lastSeen[id] = seq
+		}
+	})
+}
+
+// TestHTMQueueReclaimsMemory demonstrates the paper's space property: after
+// draining, the HTM queue's live memory returns to its empty footprint, while
+// the pool-based MS queue retains the historical maximum.
+func TestHTMQueueReclaimsMemory(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	q := NewHTMQueue(h)
+	c := q.NewCtx(h.NewThread())
+	base := h.Stats().LiveWords
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(c, i+1)
+	}
+	if peak := h.Stats().LiveWords; peak < base+1000*qNodeWords {
+		t.Fatalf("peak %d implausible", peak)
+	}
+	for {
+		if _, ok := q.Dequeue(c); !ok {
+			break
+		}
+	}
+	if live := h.Stats().LiveWords; live != base {
+		t.Errorf("live = %d after drain, want %d", live, base)
+	}
+}
+
+// TestMSQueuePoolRetainsHistoricalMax documents the contrasting behaviour.
+func TestMSQueuePoolRetainsHistoricalMax(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	q := NewMSQueue(h)
+	c := q.NewCtx(h.NewThread())
+	base := h.Stats().LiveWords
+	for i := uint64(0); i < 1000; i++ {
+		q.Enqueue(c, i+1)
+	}
+	for {
+		if _, ok := q.Dequeue(c); !ok {
+			break
+		}
+	}
+	live := h.Stats().LiveWords
+	if live < base+1000*qNodeWords {
+		t.Errorf("pool variant freed memory? live = %d, base = %d", live, base)
+	}
+	if q.PoolSize(c) != 1000 {
+		t.Errorf("pool size = %d, want 1000", q.PoolSize(c))
+	}
+}
+
+// TestMSQueueROPEventuallyReclaims: after draining and releasing all hazard
+// records, retired nodes must be freed.
+func TestMSQueueROPEventuallyReclaims(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	q := NewMSQueueROP(h)
+	c := q.NewCtx(h.NewThread())
+	base := h.Stats().LiveWords
+	for i := uint64(0); i < 500; i++ {
+		q.Enqueue(c, i+1)
+	}
+	for {
+		if _, ok := q.Dequeue(c); !ok {
+			break
+		}
+	}
+	q.CloseCtx(c)
+	live := h.Stats().LiveWords
+	// Everything except the dummy node should be reclaimed.
+	if live > base+qNodeWords {
+		t.Errorf("live = %d after drain+release, want <= %d", live, base+qNodeWords)
+	}
+}
+
+// TestQuickQueueMatchesModel runs random op sequences against a slice model.
+func TestQuickQueueMatchesModel(t *testing.T) {
+	for _, im := range qimpls() {
+		im := im
+		t.Run(im.name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				h := htm.NewHeap(htm.Config{Words: 1 << 18})
+				q := im.mk(h)
+				c := q.NewCtx(h.NewThread())
+				defer closeCtx(q, c)
+				var model []uint64
+				next := uint64(1)
+				for _, op := range ops {
+					if op%2 == 0 {
+						q.Enqueue(c, next)
+						model = append(model, next)
+						next++
+					} else {
+						v, ok := q.Dequeue(c)
+						if len(model) == 0 {
+							if ok {
+								return false
+							}
+							continue
+						}
+						if !ok || v != model[0] {
+							return false
+						}
+						model = model[1:]
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
