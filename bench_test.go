@@ -450,9 +450,7 @@ func BenchmarkQueueSingleOp(b *testing.B) {
 				q.Dequeue(c)
 			}
 			b.StopTimer()
-			if rop, ok := q.(*queue.MSQueueROP); ok {
-				rop.CloseCtx(c)
-			}
+			queue.CloseCtx(q, c)
 		})
 	}
 }

@@ -1,7 +1,8 @@
 // Command queuebench regenerates Figure 1: throughput of the HTM queue, the
-// Michael-Scott queue (thread-local pools, no reclamation) and Michael-Scott
-// with ROP/hazard-pointer reclamation, across thread counts, plus the
-// space-after-drain comparison from §1.1.
+// Michael-Scott queue (thread-local pools, no reclamation), Michael-Scott
+// with ROP/hazard-pointer reclamation, and Michael-Scott with epoch-based
+// reclamation, across thread counts — plus a per-queue summary with the
+// per-op overhead and quiescent-memory columns from §1.1.
 package main
 
 import (
@@ -11,8 +12,6 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/harness"
-	"repro/internal/htm"
-	"repro/internal/queue"
 )
 
 func main() {
@@ -39,25 +38,15 @@ func main() {
 	}
 	fmt.Println(harness.Fig1(cfg, tc).Render())
 
-	// §1.1 space comparison: grow each queue to 10k entries, drain, report
-	// residual live memory.
-	fmt.Println("== Space after enqueueing 10k entries and draining [bytes] ==")
-	for _, spec := range harness.QueueSpecs() {
-		h := htm.NewHeap(htm.Config{Words: 1 << 20})
-		q := spec.New(h)
-		c := q.NewCtx(h.NewThread())
-		for i := 0; i < 10000; i++ {
-			q.Enqueue(c, uint64(i+1))
-		}
-		peak := h.Stats().MaxLiveWords * 8
-		for {
-			if _, ok := q.Dequeue(c); !ok {
-				break
-			}
-		}
-		if rop, ok := q.(*queue.MSQueueROP); ok {
-			rop.CloseCtx(c)
-		}
-		fmt.Printf("%-22s peak=%-10d residual=%d\n", spec.Label, peak, h.Stats().LiveWords*8)
+	// §1.1 summary at a fixed thread count: throughput, per-op overhead
+	// relative to the HTM queue, and peak/quiescent memory after enqueueing
+	// 10k entries and draining.
+	sumThreads := 8
+	if sumThreads > *threads {
+		sumThreads = *threads
 	}
+	if sumThreads < 1 {
+		sumThreads = 1
+	}
+	fmt.Println(harness.QueueComparison(cfg, sumThreads, 256).Render())
 }

@@ -6,9 +6,10 @@
 // repository substitutes a software-simulated HTM with Rock's semantics
 // (internal/htm) and rebuilds every system the paper describes on top of it:
 // the Dynamic Collect algorithms (internal/core), the motivating FIFO queues
-// (internal/queue), hazard-pointer reclamation (internal/hazard), the
-// adaptive telescoping mechanism (internal/adapt), and a benchmark harness
-// that regenerates every table and figure (internal/harness, cmd/...).
+// (internal/queue), hazard-pointer reclamation (internal/hazard),
+// epoch-based reclamation (internal/epoch), the adaptive telescoping
+// mechanism (internal/adapt), and a benchmark harness that regenerates every
+// table and figure (internal/harness, cmd/...).
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-versus-measured

@@ -1,12 +1,12 @@
 // Queue: the paper's §1.1 motivating example, runnable.
 //
-// Three FIFO queues on the same simulated heap: the HTM queue (sequential
+// Four FIFO queues on the same simulated heap: the HTM queue (sequential
 // code in transactions, frees dequeued nodes), the Michael-Scott queue
-// (recycles nodes through thread-local pools, never frees), and
-// Michael-Scott with hazard-pointer (ROP) reclamation. The demo runs the
-// same producer/consumer workload on each and prints throughput and — the
-// paper's space point — how much memory each queue still holds after
-// draining.
+// (recycles nodes through thread-local pools, never frees), Michael-Scott
+// with hazard-pointer (ROP) reclamation, and Michael-Scott with epoch-based
+// reclamation. The demo runs the same producer/consumer workload on each and
+// prints throughput and — the paper's space point — how much memory each
+// queue still holds after draining.
 //
 //	go run ./examples/queue
 package main
@@ -44,9 +44,7 @@ func run(name string, mk func(h *htm.Heap) queue.Queue) {
 					q.Dequeue(c)
 				}
 			}
-			if rop, ok := q.(*queue.MSQueueROP); ok {
-				rop.CloseCtx(c)
-			}
+			queue.CloseCtx(q, c)
 		}(uint64(w + 1))
 	}
 	wg.Wait()
@@ -54,14 +52,8 @@ func run(name string, mk func(h *htm.Heap) queue.Queue) {
 
 	// Drain and report the quiescent footprint.
 	c := q.NewCtx(heap.NewThread())
-	for {
-		if _, ok := q.Dequeue(c); !ok {
-			break
-		}
-	}
-	if rop, ok := q.(*queue.MSQueueROP); ok {
-		rop.CloseCtx(c)
-	}
+	queue.DrainCount(q, c, queue.DrainLimit)
+	queue.CloseCtx(q, c)
 	st := heap.Stats()
 	fmt.Printf("%-20s %8.3f ops/µs   peak=%6dB   after-drain=%6dB   aborts=%d\n",
 		name,
@@ -74,4 +66,5 @@ func main() {
 	run("HTM", func(h *htm.Heap) queue.Queue { return queue.NewHTMQueue(h) })
 	run("Michael-Scott", func(h *htm.Heap) queue.Queue { return queue.NewMSQueue(h) })
 	run("Michael-Scott ROP", func(h *htm.Heap) queue.Queue { return queue.NewMSQueueROP(h) })
+	run("Michael-Scott EBR", func(h *htm.Heap) queue.Queue { return queue.NewMSQueueEBR(h) })
 }

@@ -1,0 +1,210 @@
+// Package epoch implements epoch-based safe memory reclamation (EBR, Fraser
+// [2004]; also quiescent-state-based reclamation) over the simulated heap.
+//
+// EBR is the third standard point in the reclamation design space the paper's
+// Figure 1 compares implicitly: HTM frees immediately, hazard pointers (ROP,
+// package hazard) pay an announce/validate on every shared load, and EBR pays
+// a single announcement per *operation* — a thread pins the global epoch on
+// entry and unpins on exit, and retired blocks are only freed once every
+// pinned thread has observed a newer epoch. Per-load overhead is zero, but a
+// single stalled pinned thread delays all reclamation, so the quiescent
+// memory bound is weaker than with hazard pointers.
+//
+// The API mirrors package hazard (Domain/Record, Retire, a collect step) so
+// the queue harness can treat both mechanisms uniformly. Epoch records live
+// in the simulated heap, so their space — proportional to the historical
+// maximum number of participating threads, like hazard records — shows up in
+// the heap's live-word accounting.
+//
+// Grace-period rule: a block retired while the global epoch reads e may be
+// freed once the global epoch reaches e+2. Advancing from e to e+1 requires
+// every pinned thread to have observed e, so by e+2 every thread that could
+// have held a reference from epoch e has unpinned at least once.
+package epoch
+
+import (
+	"runtime"
+
+	"repro/internal/htm"
+)
+
+// Epoch record layout in the simulated heap: link to the next record, an
+// active flag, and the thread's local epoch (0 = not pinned).
+const (
+	rNext = iota
+	rActive
+	rEpoch
+	rRecWords
+)
+
+// firstEpoch is the initial global epoch. It must be nonzero: a record's
+// local epoch of 0 means "not pinned".
+const firstEpoch = 1
+
+// defaultCollectThreshold is the limbo-list length that triggers an
+// amortized advance-and-collect from Retire.
+const defaultCollectThreshold = 32
+
+// Domain is a reclamation domain: the global epoch counter plus a lock-free
+// list of per-thread epoch records. All pointers it manages are heap
+// addresses.
+type Domain struct {
+	h     *htm.Heap
+	head  htm.Addr // one word: address of the first epoch record
+	epoch htm.Addr // one word: the global epoch counter
+}
+
+// NewDomain creates a reclamation domain on h.
+func NewDomain(h *htm.Heap) *Domain {
+	th := h.NewThread()
+	d := &Domain{h: h, head: th.Alloc(1), epoch: th.Alloc(1)}
+	h.StoreNT(d.epoch, firstEpoch)
+	return d
+}
+
+// Epoch returns the current global epoch (diagnostics).
+func (d *Domain) Epoch() uint64 { return d.h.LoadNT(d.epoch) }
+
+// retiredBlock is one limbo entry: the block and the global epoch observed
+// when it was retired.
+type retiredBlock struct {
+	addr htm.Addr
+	at   uint64
+}
+
+// Record is a thread's acquired epoch record plus its private limbo list of
+// retired blocks. A Record must be used by a single goroutine. The typical
+// per-operation pattern is:
+//
+//	rec.Pin()
+//	defer rec.Unpin() // or explicit Unpin on every return path
+//	... traverse, CAS, rec.Retire(detached) ...
+type Record struct {
+	d     *Domain
+	th    *htm.Thread
+	addr  htm.Addr // this thread's record in the shared list
+	limbo []retiredBlock
+	// collectThreshold is the limbo length that triggers a collect.
+	collectThreshold int
+}
+
+// Acquire finds an inactive epoch record to adopt or appends a fresh one —
+// the Register step of the dynamic collect embedded in this mechanism,
+// exactly as in package hazard.
+func (d *Domain) Acquire(th *htm.Thread) *Record {
+	h := d.h
+	// Try to re-activate a released record.
+	for r := htm.Addr(h.LoadNT(d.head)); r != htm.NilAddr; r = htm.Addr(h.LoadNT(r + rNext)) {
+		if h.LoadNT(r+rActive) == 0 && h.CASNT(r+rActive, 0, 1) {
+			h.StoreNT(r+rEpoch, 0)
+			return &Record{d: d, th: th, addr: r, collectThreshold: defaultCollectThreshold}
+		}
+	}
+	// Append a new record at the head.
+	r := th.Alloc(rRecWords)
+	h.StoreNT(r+rActive, 1)
+	for {
+		first := h.LoadNT(d.head)
+		h.StoreNT(r+rNext, first)
+		if h.CASNT(d.head, first, uint64(r)) {
+			return &Record{d: d, th: th, addr: r, collectThreshold: defaultCollectThreshold}
+		}
+	}
+}
+
+// Pin announces that the thread is entering an epoch-protected region: it
+// publishes the current global epoch in its record, blocking reclamation of
+// anything retired from this epoch on. Unlike hazard.Record.Protect this
+// happens once per operation, not once per shared load — the overhead
+// contrast Figure 1 turns on.
+func (r *Record) Pin() {
+	h := r.d.h
+	for {
+		e := h.LoadNT(r.d.epoch)
+		h.StoreNT(r.addr+rEpoch, e)
+		// Re-validate: if the global epoch moved before our announcement
+		// became visible, re-announce so we never lag more than one epoch.
+		if h.LoadNT(r.d.epoch) == e {
+			return
+		}
+	}
+}
+
+// Unpin retracts the announcement, marking the thread quiescent.
+func (r *Record) Unpin() {
+	r.d.h.StoreNT(r.addr+rEpoch, 0)
+}
+
+// Retire queues p for deallocation once two epoch advances have passed. When
+// the private limbo list reaches the collect threshold, Collect runs.
+func (r *Record) Retire(p htm.Addr) {
+	r.limbo = append(r.limbo, retiredBlock{addr: p, at: r.d.h.LoadNT(r.d.epoch)})
+	if len(r.limbo) >= r.collectThreshold {
+		r.Collect()
+	}
+}
+
+// Collect attempts one epoch advance and frees every limbo entry whose
+// grace period has elapsed (retired at epoch e, global now >= e+2). This is
+// the EBR analogue of hazard.Record.Scan, amortized the same way.
+func (r *Record) Collect() {
+	r.d.TryAdvance()
+	e := r.d.h.LoadNT(r.d.epoch)
+	kept := r.limbo[:0]
+	for _, b := range r.limbo {
+		if e >= b.at+2 {
+			r.th.Free(b.addr)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	r.limbo = kept
+}
+
+// TryAdvance increments the global epoch if every pinned thread has observed
+// the current one, and reports whether it advanced. A thread pinned at an
+// older epoch — including the caller itself, if its pin predates the last
+// advance — blocks the attempt; that is the mechanism's liveness tradeoff.
+func (d *Domain) TryAdvance() bool {
+	h := d.h
+	e := h.LoadNT(d.epoch)
+	for rec := htm.Addr(h.LoadNT(d.head)); rec != htm.NilAddr; rec = htm.Addr(h.LoadNT(rec + rNext)) {
+		if h.LoadNT(rec+rActive) == 0 {
+			continue
+		}
+		if le := h.LoadNT(rec + rEpoch); le != 0 && le != e {
+			return false
+		}
+	}
+	return h.CASNT(d.epoch, e, e+1)
+}
+
+// Release unpins, drains the limbo backlog, and deactivates the record so
+// another thread can adopt it (the Deregister step). Draining requires two
+// epoch advances past the newest limbo entry, so Release loops — it blocks
+// for as long as some other thread stays pinned at an old epoch, mirroring
+// hazard.Record.Release blocking on a standing announcement.
+func (r *Record) Release() {
+	h := r.d.h
+	h.StoreNT(r.addr+rEpoch, 0)
+	for len(r.limbo) > 0 {
+		r.Collect()
+		runtime.Gosched()
+	}
+	h.StoreNT(r.addr+rActive, 0)
+}
+
+// RetiredLen reports the current limbo backlog (diagnostics).
+func (r *Record) RetiredLen() int { return len(r.limbo) }
+
+// Records reports how many epoch records exist in the domain (diagnostics;
+// grows to the historical maximum thread count, the same space property as
+// hazard records).
+func (d *Domain) Records() int {
+	h := d.h
+	n := 0
+	for rec := htm.Addr(h.LoadNT(d.head)); rec != htm.NilAddr; rec = htm.Addr(h.LoadNT(rec + rNext)) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/htm"
+)
+
+func TestAcquireReusesReleasedRecords(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	r1 := d.Acquire(th)
+	if d.Records() != 1 {
+		t.Fatalf("records = %d, want 1", d.Records())
+	}
+	r1.Release()
+	r2 := d.Acquire(th)
+	if d.Records() != 1 {
+		t.Errorf("released record not reused: %d records", d.Records())
+	}
+	if r2.addr != r1.addr {
+		t.Errorf("expected record reuse, got %v vs %v", r2.addr, r1.addr)
+	}
+	r2.Release()
+}
+
+func TestRecordsGrowToConcurrentMax(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	var recs []*Record
+	for i := 0; i < 8; i++ {
+		recs = append(recs, d.Acquire(th))
+	}
+	if d.Records() != 8 {
+		t.Fatalf("records = %d, want 8", d.Records())
+	}
+	for _, r := range recs {
+		r.Release()
+	}
+	// Historical maximum persists — the same space property as hazard
+	// records (§1.2).
+	if d.Records() != 8 {
+		t.Errorf("records = %d after release, want 8 (historical max)", d.Records())
+	}
+}
+
+// TestPinBlocksAdvance checks the advance rule: a thread pinned at the
+// current epoch permits exactly one advance, then blocks further ones until
+// it unpins or re-pins.
+func TestPinBlocksAdvance(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	r := d.Acquire(th)
+
+	r.Pin()
+	e := d.Epoch()
+	if !d.TryAdvance() {
+		t.Fatal("thread pinned at the current epoch must not block the first advance")
+	}
+	if got := d.Epoch(); got != e+1 {
+		t.Fatalf("epoch = %d, want %d", got, e+1)
+	}
+	if d.TryAdvance() {
+		t.Fatal("thread pinned one epoch behind must block the advance")
+	}
+	r.Unpin()
+	if !d.TryAdvance() {
+		t.Fatal("advance must succeed once the lagging thread unpins")
+	}
+	r.Release()
+}
+
+// TestRetireFreeOrdering checks the grace period: a retired block stays in
+// limbo while any thread is pinned at an epoch that could still reference
+// it, and is freed only after two advances past its retirement epoch.
+func TestRetireFreeOrdering(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	owner := d.Acquire(th)
+	guard := d.Acquire(th)
+
+	guard.Pin()
+	blk := th.Alloc(2)
+	h.StoreNT(blk, 42)
+	owner.Retire(blk)
+	for i := 0; i < 10; i++ {
+		owner.Collect()
+	}
+	// Still guarded: the epoch cannot advance past guard's pin, so the
+	// block must still be live and in limbo.
+	if v := h.LoadNT(blk); v != 42 {
+		t.Fatalf("guarded block damaged: %d", v)
+	}
+	if owner.RetiredLen() != 1 {
+		t.Fatalf("retired len = %d, want 1", owner.RetiredLen())
+	}
+	guard.Unpin()
+	live := h.Stats().LiveWords
+	for i := 0; i < 4 && owner.RetiredLen() > 0; i++ {
+		owner.Collect()
+	}
+	if owner.RetiredLen() != 0 {
+		t.Errorf("block not freed after guard unpinned")
+	}
+	if got := h.Stats().LiveWords; got != live-2 {
+		t.Errorf("live words = %d, want %d (block freed)", got, live-2)
+	}
+	guard.Release()
+	owner.Release()
+}
+
+// TestRetireTriggersCollectAtThreshold checks the amortization: reaching the
+// limbo threshold runs a collect, which advances the epoch, and a Release
+// drains everything back to the baseline footprint.
+func TestRetireTriggersCollectAtThreshold(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	r := d.Acquire(th)
+	live := h.Stats().LiveWords
+	e := d.Epoch()
+	for i := 0; i < r.collectThreshold; i++ {
+		r.Retire(th.Alloc(1))
+	}
+	if d.Epoch() == e {
+		t.Error("reaching the threshold did not attempt an epoch advance")
+	}
+	r.Release()
+	if r.RetiredLen() != 0 {
+		t.Errorf("retired backlog = %d after release", r.RetiredLen())
+	}
+	if got := h.Stats().LiveWords; got != live {
+		t.Errorf("live words = %d, want %d (all retired blocks freed)", got, live)
+	}
+}
+
+// TestPinUnpinCycleReclaims models the steady state: a mutator that pins
+// around each operation lets its own retirements drain without an explicit
+// Release, two epochs behind.
+func TestPinUnpinCycleReclaims(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 16})
+	d := NewDomain(h)
+	th := h.NewThread()
+	r := d.Acquire(th)
+	live := h.Stats().LiveWords
+	for i := 0; i < 4*r.collectThreshold; i++ {
+		r.Pin()
+		r.Retire(th.Alloc(1))
+		r.Unpin()
+	}
+	r.Release()
+	if got := h.Stats().LiveWords; got != live {
+		t.Errorf("live words = %d, want %d", got, live)
+	}
+}
+
+// TestConcurrentPinRetire is the safety stress: readers chase a published
+// pointer inside pinned regions while a writer swaps and retires blocks. The
+// simulated heap panics on any access to freed memory, so a premature free
+// fails loudly; torn reads would mean the grace period is broken.
+func TestConcurrentPinRetire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	d := NewDomain(h)
+	setup := h.NewThread()
+	ptr := setup.Alloc(1)
+	blk := setup.Alloc(2)
+	h.StoreNT(blk, 7)
+	h.StoreNT(blk+1, 7)
+	h.StoreNT(ptr, uint64(blk))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := h.NewThread()
+		w := d.Acquire(th)
+		for i := uint64(8); ; i++ {
+			select {
+			case <-stop:
+				w.Release()
+				return
+			default:
+			}
+			nb := th.Alloc(2)
+			h.StoreNT(nb, i)
+			h.StoreNT(nb+1, i)
+			old := htm.Addr(h.LoadNT(ptr))
+			h.StoreNT(ptr, uint64(nb))
+			w.Retire(old)
+		}
+	}()
+	var rwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			th := h.NewThread()
+			r := d.Acquire(th)
+			defer r.Release()
+			for n := 0; n < 5000; n++ {
+				r.Pin()
+				b := htm.Addr(h.LoadNT(ptr))
+				x := h.LoadNT(b)
+				y := h.LoadNT(b + 1)
+				if x != y {
+					t.Errorf("torn read inside pinned region: %d vs %d", x, y)
+				}
+				r.Unpin()
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wg.Wait()
+}

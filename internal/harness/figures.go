@@ -30,7 +30,8 @@ var (
 const paperCapacity = 64
 
 // Fig1 reproduces Figure 1: queue throughput versus thread count for the
-// HTM queue, the Michael-Scott queue and Michael-Scott with ROP reclamation.
+// HTM queue, the Michael-Scott queue, Michael-Scott with ROP reclamation,
+// and Michael-Scott with epoch-based reclamation.
 func Fig1(cfg Config, threadCounts []int) *Table {
 	if threadCounts == nil {
 		threadCounts = DefaultThreadCounts
@@ -302,6 +303,7 @@ func UpdateLatencyTable(cfg Config, iters int) *Table {
 // during a collect-dominated run per algorithm, and queue memory after
 // growing to 10k entries and draining.
 func SpaceTable(cfg Config) *Table {
+	cfg = cfg.withDefaults()
 	t := &Table{Title: "Space: peak live heap during Figure 3 workload / queue residual after drain [bytes]",
 		XLabel: "system", Xs: []string{"peak", "residual"}}
 	for _, spec := range Fig3Specs() {
@@ -312,24 +314,76 @@ func SpaceTable(cfg Config) *Table {
 		})
 	}
 	for _, spec := range QueueSpecs() {
-		h := htm.NewHeap(htm.Config{Words: cfg.withDefaults().HeapWords})
-		q := spec.New(h)
-		c := q.NewCtx(h.NewThread())
-		for i := 0; i < 10000; i++ {
-			q.Enqueue(c, uint64(i+1))
-		}
-		peak := h.Stats().MaxLiveWords * 8
-		for {
-			if _, ok := q.Dequeue(c); !ok {
-				break
-			}
-		}
-		if rop, ok := q.(*queue.MSQueueROP); ok {
-			rop.CloseCtx(c)
-		}
+		peak, quiescent := QueueSpace(cfg, spec, 10000)
 		t.Series = append(t.Series, Series{
 			Label: "Queue: " + spec.Label,
-			Ys:    []float64{float64(peak), float64(h.Stats().LiveWords * 8)},
+			Ys:    []float64{float64(peak), float64(quiescent)},
+		})
+	}
+	return t
+}
+
+// QueueSpace grows a fresh queue to n entries, drains it, and reports the
+// peak live bytes while full and the residual (quiescent) live bytes after
+// draining and releasing the context — the §1.1 space comparison.
+func QueueSpace(cfg Config, spec QueueSpec, n int) (peak, quiescent uint64) {
+	cfg = cfg.withDefaults()
+	h := htm.NewHeap(htm.Config{Words: cfg.HeapWords})
+	q := spec.New(h)
+	c := q.NewCtx(h.NewThread())
+	for i := 0; i < n; i++ {
+		q.Enqueue(c, uint64(i+1))
+	}
+	peak = h.Stats().MaxLiveWords * 8
+	queue.DrainCount(q, c, queue.DrainLimit)
+	queue.CloseCtx(q, c)
+	return peak, h.Stats().LiveWords * 8
+}
+
+// QueueComparison summarizes the Figure 1 story at one thread count, with
+// the columns the §1.1 discussion turns on for all four reclamation regimes:
+// throughput, per-operation wall time and its overhead relative to the HTM
+// queue, and the space story — peak live bytes while holding 10k entries and
+// quiescent (post-drain) live bytes.
+func QueueComparison(cfg Config, threads, prefill int) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf(
+			"Queue comparison at %d threads: throughput, per-op overhead, quiescent memory", threads),
+		XLabel: "queue",
+		Xs:     []string{"ops/us", "ns/op", "ovhd%", "peak B", "quiescent B"},
+	}
+	type row struct {
+		label                        string
+		opsUs, nsOp, peak, quiescent float64
+	}
+	var rows []row
+	var htmNs float64
+	for _, spec := range QueueSpecs() {
+		r := QueueThroughput(cfg, spec.New, threads, prefill)
+		opsUs := r.OpsPerUs()
+		nsOp := 0.0
+		if opsUs > 0 {
+			// threads workers ran concurrently for Elapsed, so per-op wall
+			// time on one thread is threads/throughput.
+			nsOp = float64(threads) * 1000 / opsUs
+		}
+		if spec.Label == "HTM" {
+			htmNs = nsOp
+		}
+		peak, quiescent := QueueSpace(cfg, spec, 10000)
+		rows = append(rows, row{spec.Label, opsUs, nsOp, float64(peak), float64(quiescent)})
+	}
+	// The overhead column is relative to the HTM queue, found by label so
+	// reordering QueueSpecs cannot silently shift the baseline.
+	for _, r := range rows {
+		ovhd := 0.0
+		if htmNs > 0 {
+			ovhd = (r.nsOp - htmNs) / htmNs * 100
+		}
+		t.Series = append(t.Series, Series{
+			Label: r.label,
+			Ys:    []float64{r.opsUs, r.nsOp, ovhd, r.peak, r.quiescent},
 		})
 	}
 	return t

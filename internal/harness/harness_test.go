@@ -102,6 +102,43 @@ func TestQueueThroughputRuns(t *testing.T) {
 	}
 }
 
+func TestQueueComparisonShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every queue")
+	}
+	tab := QueueComparison(quickCfg(), 3, 64)
+	if len(tab.Series) != len(QueueSpecs()) {
+		t.Fatalf("series = %d, want %d", len(tab.Series), len(QueueSpecs()))
+	}
+	if len(tab.Xs) != 5 {
+		t.Fatalf("columns = %d, want 5 (ops/us, ns/op, ovhd%%, peak, quiescent)", len(tab.Xs))
+	}
+	var pool, ebr float64
+	for _, s := range tab.Series {
+		if len(s.Ys) != len(tab.Xs) {
+			t.Fatalf("series %q has %d values", s.Label, len(s.Ys))
+		}
+		if s.Ys[0] <= 0 {
+			t.Errorf("series %q throughput = %f", s.Label, s.Ys[0])
+		}
+		switch s.Label {
+		case "Michael-Scott":
+			pool = s.Ys[4]
+		case "Michael-Scott EBR":
+			ebr = s.Ys[4]
+		}
+	}
+	// Guard against label drift making the assertion below vacuous.
+	if pool <= 0 || ebr <= 0 {
+		t.Fatalf("missing series: pool quiescent = %f, EBR quiescent = %f", pool, ebr)
+	}
+	// The reclaiming variant must hold far less quiescent memory than the
+	// pool variant after draining 10k entries.
+	if ebr*10 > pool {
+		t.Errorf("EBR quiescent bytes %f not far below pool quiescent bytes %f", ebr, pool)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{
 		Title:  "demo",

@@ -21,9 +21,7 @@ func QueueThroughput(cfg Config, mk func(h *htm.Heap) queue.Queue, threads, pref
 	for i := 0; i < prefill; i++ {
 		q.Enqueue(setup, uint64(i+1))
 	}
-	if rop, ok := q.(*queue.MSQueueROP); ok {
-		rop.CloseCtx(setup)
-	}
+	queue.CloseCtx(q, setup)
 
 	b := newBarrier(threads)
 	var ops atomic.Uint64
@@ -51,9 +49,7 @@ func QueueThroughput(cfg Config, mk func(h *htm.Heap) queue.Queue, threads, pref
 				n++
 			}
 			ops.Add(n)
-			if rop, ok := q.(*queue.MSQueueROP); ok {
-				rop.CloseCtx(c)
-			}
+			queue.CloseCtx(q, c)
 		}(w)
 	}
 	startedAt := b.release()

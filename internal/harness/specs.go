@@ -115,11 +115,14 @@ type QueueSpec struct {
 	New   func(h *htm.Heap) queue.Queue
 }
 
-// QueueSpecs returns the three Figure 1 queues.
+// QueueSpecs returns the four Figure 1 queues: the three the paper plots
+// plus the epoch-based-reclamation variant, the standard third reclamation
+// regime the reproduction adds for completeness.
 func QueueSpecs() []QueueSpec {
 	return []QueueSpec{
 		{Label: "HTM", New: func(h *htm.Heap) queue.Queue { return queue.NewHTMQueue(h) }},
 		{Label: "Michael-Scott", New: func(h *htm.Heap) queue.Queue { return queue.NewMSQueue(h) }},
 		{Label: "Michael-Scott ROP", New: func(h *htm.Heap) queue.Queue { return queue.NewMSQueueROP(h) }},
+		{Label: "Michael-Scott EBR", New: func(h *htm.Heap) queue.Queue { return queue.NewMSQueueEBR(h) }},
 	}
 }

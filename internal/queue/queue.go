@@ -1,5 +1,5 @@
 // Package queue implements the paper's motivating example (§1.1, Figure 1):
-// three concurrent FIFO queues on the simulated heap.
+// four concurrent FIFO queues on the simulated heap.
 //
 //   - HTMQueue: simple sequential code inside hardware transactions. A
 //     dequeue frees its node immediately; a racing transaction that still
@@ -12,8 +12,12 @@
 //   - MSQueueROP: the Michael-Scott queue with hazard-pointer (ROP)
 //     reclamation, which can truly free nodes at the cost of
 //     announce/validate/scan overhead on every operation.
+//   - MSQueueEBR: the Michael-Scott queue with epoch-based reclamation, which
+//     also truly frees nodes, paying one epoch announcement per operation
+//     instead of one per load — but stalling all reclamation while any
+//     thread stays pinned.
 //
-// All three share a Queue interface over per-thread contexts.
+// All four share a Queue interface over per-thread contexts.
 package queue
 
 import (
@@ -40,7 +44,23 @@ type Queue interface {
 	Dequeue(c *Ctx) (v uint64, ok bool)
 }
 
-// Ctx is a per-thread queue context (htm thread, node pool or hazard record).
+// CtxCloser is implemented by queues whose contexts hold reclamation state
+// (a hazard record, an epoch record) that must be released when the thread
+// is done. Queues without such state need no CloseCtx.
+type CtxCloser interface {
+	CloseCtx(c *Ctx)
+}
+
+// CloseCtx releases c's reclamation state if q holds any; it is safe to call
+// on every queue implementation.
+func CloseCtx(q Queue, c *Ctx) {
+	if cc, ok := q.(CtxCloser); ok {
+		cc.CloseCtx(c)
+	}
+}
+
+// Ctx is a per-thread queue context (htm thread, node pool, hazard record or
+// epoch record).
 type Ctx struct {
 	th   *htm.Thread
 	priv any
@@ -49,14 +69,42 @@ type Ctx struct {
 // Thread returns the underlying htm thread.
 func (c *Ctx) Thread() *htm.Thread { return c.th }
 
-// Drain dequeues until empty and returns the values (test helper).
+// DrainLimit caps Drain. It is far above any queue size the tests and
+// benchmarks build, so hitting it means another goroutine is racing Drain
+// with enqueues.
+const DrainLimit = 1 << 20
+
+// Drain dequeues until empty and returns the values (test helper). Under
+// concurrent producers an "until empty" loop need never terminate, so Drain
+// stops after DrainLimit dequeues; use DrainN to pick the bound.
 func Drain(q Queue, c *Ctx) []uint64 {
+	return DrainN(q, c, DrainLimit)
+}
+
+// DrainN dequeues until the queue reports empty or max values have been
+// taken, and returns the values.
+func DrainN(q Queue, c *Ctx, max int) []uint64 {
 	var out []uint64
-	for {
+	for len(out) < max {
 		v, ok := q.Dequeue(c)
 		if !ok {
-			return out
+			break
 		}
 		out = append(out, v)
 	}
+	return out
+}
+
+// DrainCount dequeues until the queue reports empty or max values have been
+// taken, discarding the values and returning how many were taken — for
+// callers that drain purely for the side effect (space measurements).
+func DrainCount(q Queue, c *Ctx, max int) int {
+	n := 0
+	for n < max {
+		if _, ok := q.Dequeue(c); !ok {
+			break
+		}
+		n++
+	}
+	return n
 }

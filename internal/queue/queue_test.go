@@ -2,6 +2,7 @@ package queue
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -20,13 +21,12 @@ func qimpls() []qimpl {
 		{"HTM", func(h *htm.Heap) Queue { return NewHTMQueue(h) }, true},
 		{"MichaelScott", func(h *htm.Heap) Queue { return NewMSQueue(h) }, false},
 		{"MichaelScottROP", func(h *htm.Heap) Queue { return NewMSQueueROP(h) }, true},
+		{"MichaelScottEBR", func(h *htm.Heap) Queue { return NewMSQueueEBR(h) }, true},
 	}
 }
 
 func closeCtx(q Queue, c *Ctx) {
-	if rop, ok := q.(*MSQueueROP); ok {
-		rop.CloseCtx(c)
-	}
+	CloseCtx(q, c)
 }
 
 func forEachQueue(t *testing.T, f func(t *testing.T, im qimpl, q Queue, h *htm.Heap)) {
@@ -272,6 +272,88 @@ func TestMSQueueROPEventuallyReclaims(t *testing.T) {
 	// Everything except the dummy node should be reclaimed.
 	if live > base+qNodeWords {
 		t.Errorf("live = %d after drain+release, want <= %d", live, base+qNodeWords)
+	}
+}
+
+// TestMSQueueEBREventuallyReclaims: after draining and releasing the epoch
+// record, limbo nodes must be freed.
+func TestMSQueueEBREventuallyReclaims(t *testing.T) {
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	q := NewMSQueueEBR(h)
+	c := q.NewCtx(h.NewThread())
+	base := h.Stats().LiveWords
+	for i := uint64(0); i < 500; i++ {
+		q.Enqueue(c, i+1)
+	}
+	for {
+		if _, ok := q.Dequeue(c); !ok {
+			break
+		}
+	}
+	q.CloseCtx(c)
+	live := h.Stats().LiveWords
+	// Everything except the dummy node should be reclaimed.
+	if live > base+qNodeWords {
+		t.Errorf("live = %d after drain+release, want <= %d", live, base+qNodeWords)
+	}
+}
+
+// TestDrainN: the bounded drain returns values in FIFO order and stops at
+// the cap.
+func TestDrainN(t *testing.T) {
+	forEachQueue(t, func(t *testing.T, im qimpl, q Queue, h *htm.Heap) {
+		c := q.NewCtx(h.NewThread())
+		defer closeCtx(q, c)
+		for i := uint64(1); i <= 300; i++ {
+			q.Enqueue(c, i)
+		}
+		first := DrainN(q, c, 100)
+		if len(first) != 100 {
+			t.Fatalf("DrainN(100) returned %d values", len(first))
+		}
+		for i, v := range first {
+			if v != uint64(i+1) {
+				t.Fatalf("DrainN[%d] = %d, want %d", i, v, i+1)
+			}
+		}
+		if n := DrainCount(q, c, 50); n != 50 {
+			t.Fatalf("DrainCount(50) = %d", n)
+		}
+		rest := Drain(q, c)
+		if len(rest) != 150 {
+			t.Fatalf("Drain returned %d values, want 150", len(rest))
+		}
+		if rest[0] != 151 {
+			t.Errorf("Drain resumed at %d, want 151", rest[0])
+		}
+	})
+}
+
+// TestDrainNTerminatesUnderConcurrentProducer: with a producer racing the
+// drain, an unbounded "until empty" loop need never exit; the cap guarantees
+// termination.
+func TestDrainNTerminatesUnderConcurrentProducer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h := htm.NewHeap(htm.Config{Words: 1 << 18})
+	q := NewMSQueue(h)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := q.NewCtx(h.NewThread())
+		for i := uint64(1); !stop.Load(); i++ {
+			q.Enqueue(c, i)
+		}
+	}()
+	c := q.NewCtx(h.NewThread())
+	out := DrainN(q, c, 500)
+	stop.Store(true)
+	wg.Wait()
+	if len(out) > 500 {
+		t.Errorf("DrainN returned %d values, cap was 500", len(out))
 	}
 }
 

@@ -1,0 +1,46 @@
+package repro
+
+// Smoke tests for the demo surface: every example and command must build and
+// exit cleanly, so CI catches drift between the libraries and the binaries
+// that showcase them.
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestSmokeExamplesAndCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every demo binary")
+	}
+	cases := []struct {
+		pkg  string
+		args []string
+	}{
+		{"./examples/quickstart", nil},
+		{"./examples/queue", nil},
+		{"./examples/adaptive", nil},
+		{"./examples/reclamation", nil},
+		{"./cmd/queuebench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
+		{"./cmd/collectbench", []string{"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3"}},
+		{"./cmd/experiments", []string{"-quick", "-duration", "10ms"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.pkg[2:], func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", append([]string{"run", tc.pkg}, tc.args...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s %v failed: %v\n%s", tc.pkg, tc.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("go run %s produced no output", tc.pkg)
+			}
+		})
+	}
+}
