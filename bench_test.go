@@ -204,6 +204,7 @@ func BenchmarkTableSpace(b *testing.B) {
 	for _, spec := range harness.Fig3Specs() {
 		b.Run(spec.Label, func(b *testing.B) {
 			cfg := benchCfg()
+			cfg.TrackSpace = true // exact peak-bytes needs high-water tracking
 			var r harness.Result
 			for i := 0; i < b.N; i++ {
 				r = harness.CollectDominated(cfg, harness.Bind(spec, 8), 8)

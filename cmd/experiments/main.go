@@ -24,6 +24,8 @@ func run() int {
 	dur := flag.Duration("duration", 150*time.Millisecond, "measured duration per data point")
 	out := flag.String("o", "", "also write results to this file")
 	quick := flag.Bool("quick", false, "reduced sweeps")
+	jsonOut := flag.String("json", "", "also write all figure data as a machine-readable Report to this file")
+	label := flag.String("label", "experiments", "label recorded in the -json report")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -65,15 +67,31 @@ func run() int {
 		cfg.Clock.ItersPerCycle(), cycles.DefaultGHz)
 
 	start := time.Now()
-	fmt.Fprintln(w, harness.Fig1(cfg, threadCounts).Render())
-	fmt.Fprintln(w, harness.UpdateLatencyTable(cfg, 200000).Render())
-	fmt.Fprintln(w, harness.Fig3(cfg, threadCounts).Render())
-	fmt.Fprintln(w, harness.Fig4(cfg, 15, periods4).Render())
-	fmt.Fprintln(w, harness.Fig5(cfg, 15, periods4).Render())
-	fmt.Fprintln(w, harness.Fig6(cfg, 15, periods6).Render())
-	fmt.Fprintln(w, harness.Fig7(cfg, 15, periods7).Render())
-	fmt.Fprintln(w, harness.Fig8Table(harness.Fig8(cfg, 15, 500, fig8Total, 100)).Render())
-	fmt.Fprintln(w, harness.SpaceTable(cfg).Render())
+	rep := harness.NewReport(*label)
+	rep.SetConfig("duration", cfg.PointDuration.String())
+	rep.SetConfig("quick", fmt.Sprint(*quick))
+	table := func(t *harness.Table) {
+		fmt.Fprintln(w, t.Render())
+		rep.AddTable(t)
+	}
+	table(harness.Fig1(cfg, threadCounts))
+	table(harness.UpdateLatencyTable(cfg, 200000))
+	table(harness.Fig3(cfg, threadCounts))
+	table(harness.Fig4(cfg, 15, periods4))
+	table(harness.Fig5(cfg, 15, periods4))
+	fig6 := harness.Fig6(cfg, 15, periods6)
+	fmt.Fprintln(w, fig6.Render())
+	rep.AddHist(fig6)
+	table(harness.Fig7(cfg, 15, periods7))
+	table(harness.Fig8Table(harness.Fig8(cfg, 15, 500, fig8Total, 100)))
+	table(harness.SpaceTable(cfg))
 	fmt.Fprintf(w, "# total wall time: %s\n", time.Since(start).Round(time.Second))
+	if *jsonOut != "" {
+		if err := rep.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *jsonOut, err)
+			return 1
+		}
+		fmt.Fprintf(w, "# wrote %s\n", *jsonOut)
+	}
 	return 0
 }

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/cycles"
@@ -15,9 +16,15 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	dur := flag.Duration("duration", 200*time.Millisecond, "measured duration per data point")
 	threads := flag.Int("threads", 16, "maximum simulated thread count")
 	quick := flag.Bool("quick", false, "reduced sweep")
+	jsonOut := flag.String("json", "", "also write results as a machine-readable Report to this file")
+	label := flag.String("label", "queuebench", "label recorded in the -json report")
 	flag.Parse()
 
 	cfg := harness.Config{
@@ -36,7 +43,8 @@ func main() {
 			tc = append(tc, n)
 		}
 	}
-	fmt.Println(harness.Fig1(cfg, tc).Render())
+	fig1 := harness.Fig1(cfg, tc)
+	fmt.Println(fig1.Render())
 
 	// §1.1 summary at a fixed thread count: throughput, per-op overhead
 	// relative to the HTM queue, and peak/quiescent memory after enqueueing
@@ -48,5 +56,20 @@ func main() {
 	if sumThreads < 1 {
 		sumThreads = 1
 	}
-	fmt.Println(harness.QueueComparison(cfg, sumThreads, 256).Render())
+	cmp := harness.QueueComparison(cfg, sumThreads, 256)
+	fmt.Println(cmp.Render())
+
+	if *jsonOut != "" {
+		rep := harness.NewReport(*label)
+		rep.SetConfig("duration", cfg.PointDuration.String())
+		rep.SetConfig("threads", fmt.Sprint(*threads))
+		rep.AddTable(fig1)
+		rep.AddTable(cmp)
+		if err := rep.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "queuebench: write %s: %v\n", *jsonOut, err)
+			return 1
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
+	}
+	return 0
 }

@@ -304,6 +304,7 @@ func UpdateLatencyTable(cfg Config, iters int) *Table {
 // growing to 10k entries and draining.
 func SpaceTable(cfg Config) *Table {
 	cfg = cfg.withDefaults()
+	cfg.TrackSpace = true // peak-live columns need exact high-water marks
 	t := &Table{Title: "Space: peak live heap during Figure 3 workload / queue residual after drain [bytes]",
 		XLabel: "system", Xs: []string{"peak", "residual"}}
 	for _, spec := range Fig3Specs() {

@@ -44,6 +44,11 @@ type Config struct {
 	// threads. Defaults to 4 when the host has fewer cores than Threads and
 	// 0 otherwise; set to a negative value to force 0.
 	YieldEvery int
+	// TrackSpace keeps exact LiveWords/MaxLiveWords accounting on the
+	// allocation path of every per-point heap. Space-measured experiments
+	// (SpaceTable, QueueSpace) set it; throughput sweeps leave it false so
+	// allocation stays free of globally shared counters.
+	TrackSpace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,7 +75,7 @@ func (c Config) withDefaults() Config {
 
 // newHeap builds the per-point heap with the experiment's yield policy.
 func (c Config) newHeap() *htm.Heap {
-	return htm.NewHeap(htm.Config{Words: c.HeapWords, YieldEvery: c.YieldEvery})
+	return htm.NewHeap(htm.Config{Words: c.HeapWords, YieldEvery: c.YieldEvery, NoMaxLive: !c.TrackSpace})
 }
 
 // Result is one measured data point.

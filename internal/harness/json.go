@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable record of a benchmark run: the same figure
+// tables the text renderer prints, plus host metadata and (optionally) raw
+// Go-benchmark numbers. One Report per PR is committed as BENCH_<PR>.json so
+// the performance trajectory of the repository is diffable, and CI uploads
+// one per run as a workflow artifact.
+type Report struct {
+	// Label identifies the run, e.g. "PR3" or "ci".
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	Host      Host   `json:"host"`
+	// Config echoes the sweep parameters that shaped the run.
+	Config map[string]string `json:"config,omitempty"`
+	// Tables holds figure/series data (Fig1, comparisons, space, ...).
+	Tables []*Table `json:"tables,omitempty"`
+	// Hists holds step-size distributions (Fig6-shaped data).
+	Hists []*HistTable `json:"histograms,omitempty"`
+	// Benchmarks holds flat substrate microbenchmark numbers, typically
+	// copied from `go test -bench` output.
+	Benchmarks []Benchmark `json:"benchmarks,omitempty"`
+	// Baseline optionally embeds the pre-change numbers the run is compared
+	// against, so a single file tells the whole before/after story.
+	Baseline *Report `json:"baseline,omitempty"`
+	// Notes carries free-form context (host caveats, methodology).
+	Notes string `json:"notes,omitempty"`
+}
+
+// Host describes the machine a Report was produced on.
+type Host struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// Benchmark is one flat measurement (one `go test -bench` line or one
+// derived figure point).
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	OpsPerUs    float64 `json:"ops_per_us,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// NewReport builds a Report labelled label with host metadata filled in.
+func NewReport(label string) *Report {
+	return &Report{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
+	}
+}
+
+// AddTable appends a figure table to the report.
+func (r *Report) AddTable(t *Table) { r.Tables = append(r.Tables, t) }
+
+// AddHist appends a histogram table to the report.
+func (r *Report) AddHist(t *HistTable) { r.Hists = append(r.Hists, t) }
+
+// SetConfig records one sweep parameter.
+func (r *Report) SetConfig(k, v string) {
+	if r.Config == nil {
+		r.Config = make(map[string]string)
+	}
+	r.Config[k] = v
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path, creating or truncating it.
+func (r *Report) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONFile loads a previously written Report (e.g. the prior PR's
+// snapshot, for baseline embedding or trend tooling).
+func ReadJSONFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -8,17 +8,18 @@ import (
 
 // Series is one curve of a figure: a label and a Y value per X position.
 type Series struct {
-	Label string
-	Ys    []float64
+	Label string    `json:"label"`
+	Ys    []float64 `json:"ys"`
 }
 
 // Table renders figure data in the layout the paper's plots encode: one row
-// per series, one column per X value.
+// per series, one column per X value. The json tags make every figure
+// directly emittable by the machine-readable bench pipeline (see json.go).
 type Table struct {
-	Title  string
-	XLabel string
-	Xs     []string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	Xs     []string `json:"xs"`
+	Series []Series `json:"series"`
 }
 
 // Render formats the table with aligned columns.
@@ -66,10 +67,10 @@ func (t *Table) Render() string {
 // HistTable renders a step-size distribution (Figure 6): percentage of
 // elements collected at each step size, per X value.
 type HistTable struct {
-	Title string
-	Xs    []string
+	Title string   `json:"title"`
+	Xs    []string `json:"xs"`
 	// Hists[i] is the step histogram at Xs[i].
-	Hists []map[int]uint64
+	Hists []map[int]uint64 `json:"hists"`
 }
 
 // Render formats one row per step size observed anywhere in the sweep.

@@ -8,24 +8,60 @@ import (
 
 // The allocator hands out blocks of whole words from the arena. Each block
 // has a one-word header holding the payload size and an allocated bit, so
-// Free needs only the payload address. Freed blocks are kept on exact-size
-// free lists (no splitting or coalescing — the experiments allocate a small
-// set of block sizes, and exact-size recycling keeps the simulation simple
-// and fast without affecting any measured behaviour).
+// Free needs only the payload address. Freed blocks are recycled on
+// exact-size free lists (no splitting or coalescing — the experiments
+// allocate a small set of block sizes, and exact-size recycling keeps the
+// simulation simple and fast without affecting any measured behaviour).
 //
-// The arena is partitioned into shards, each with its own mutex, bump region
-// and free lists. Threads are assigned shards round-robin, so allocation is
-// uncontended when the number of worker threads does not exceed the shard
-// count — mirroring the mostly-uncontended fast path of libumem, the
-// allocator used in the paper's experiments.
+// The design follows libumem, the allocator the paper's experiments ran on:
+// each Thread owns a per-size-class magazine (a small fixed array of free
+// payload addresses) that serves the alloc/free fast path with no locking at
+// all. Magazines refill from and drain to the arena's shards in batches of
+// magBatch blocks, so the shard mutex is touched once per magBatch operations
+// in steady state rather than once per operation. Shards hold fixed arrays of
+// exact-size free lists (one slice per class, indexed directly by size) plus
+// a bump region; only sizes above maxMagSize fall back to a per-shard map.
+//
+// Threads are assigned shards round-robin, so even refills are uncontended
+// when the number of worker threads does not exceed the shard count.
+//
+// Like any thread-caching allocator (libumem, tcmalloc), magazines strand a
+// bounded amount of memory: up to magCap addresses per active size class per
+// thread are invisible to other threads until the owner drains them. Size
+// arenas with that headroom; an allocation that finds every shard empty
+// panics even if peer magazines hold free blocks of the right size.
 
 const headerAllocBit uint64 = 1
 
+const (
+	// maxMagSize is the largest payload size (in words) served by magazines
+	// and the shards' array free lists; class s serves exactly size s. The
+	// paper's structures allocate queue nodes (a few words) and collect
+	// arrays (up to 64 handles), so this covers every hot allocation.
+	maxMagSize = 64
+	// magCap is the number of addresses a magazine holds per size class.
+	magCap = 16
+	// magBatch is the number of blocks moved between a magazine and its
+	// shard per refill or drain, amortizing the shard mutex.
+	magBatch = 8
+)
+
+// magazine is a per-thread cache of free blocks of one size class.
+type magazine struct {
+	n     int
+	addrs [magCap]Addr
+}
+
 type allocShard struct {
 	mu   sync.Mutex
-	free map[int][]Addr // payload size in words -> payload addresses
-	bump Addr           // next unused word in this shard's region
-	end  Addr           // one past the shard's region
+	bump Addr                   // next unused word in this shard's region
+	end  Addr                   // one past the shard's region
+	free [maxMagSize + 1][]Addr // exact payload size -> free payload addresses
+	big  map[int][]Addr         // sizes above maxMagSize (off the hot path)
+
+	// Pad the shard tail so the hot header fields (mutex, bump) of shard
+	// i+1 never share a cache line with the free-list spine of shard i.
+	_ [64]byte
 }
 
 type allocator struct {
@@ -46,21 +82,93 @@ func (al *allocator) init(h *Heap) {
 	per := total / n
 	for i := range al.shards {
 		s := &al.shards[i]
-		s.free = make(map[int][]Addr)
+		s.big = make(map[int][]Addr)
 		s.bump = Addr(lo + i*per)
 		s.end = Addr(lo + (i+1)*per)
 	}
 	al.shards[n-1].end = Addr(len(h.words))
 }
 
-// allocFrom tries to carve or recycle a block of size payload words from
-// shard si, returning NilAddr if the shard cannot satisfy the request.
-func (al *allocator) allocFrom(si, size int) Addr {
+// refillMag moves up to magBatch free blocks of the given size class from
+// shard si into m. Fresh blocks are carved from the bump region one at a
+// time — only recycled blocks batch — so idle size classes never pin unused
+// arena words. It reports whether m ended up non-empty.
+func (al *allocator) refillMag(si, size int, m *magazine) bool {
 	s := &al.shards[si]
 	s.mu.Lock()
-	if lst := s.free[size]; len(lst) > 0 {
+	lst := s.free[size]
+	take := magBatch - m.n
+	if take > len(lst) {
+		take = len(lst)
+	}
+	if take > 0 {
+		copy(m.addrs[m.n:], lst[len(lst)-take:])
+		s.free[size] = lst[:len(lst)-take]
+		m.n += take
+	}
+	if m.n == 0 {
+		if need := Addr(size + 1); s.end-s.bump >= need {
+			m.addrs[0] = s.bump + 1
+			s.bump += need
+			m.n = 1
+		}
+	}
+	s.mu.Unlock()
+	return m.n > 0
+}
+
+// drainMag returns magBatch blocks from a full magazine to shard si's free
+// list, keeping the rest cached for subsequent allocs.
+func (al *allocator) drainMag(si, size int, m *magazine) {
+	s := &al.shards[si]
+	keep := m.n - magBatch
+	s.mu.Lock()
+	s.free[size] = append(s.free[size], m.addrs[keep:m.n]...)
+	s.mu.Unlock()
+	m.n = keep
+}
+
+// allocRaw obtains a recycled or freshly carved block of size payload words
+// for th, without preparing its header, contents or statistics. It panics if
+// the arena is exhausted.
+func (al *allocator) allocRaw(th *Thread, size int) Addr {
+	if size >= 1 && size <= maxMagSize {
+		m := &th.mags[size]
+		if m.n == 0 && !al.refillMag(th.shard, size, m) {
+			for i := range al.shards {
+				if i != th.shard && al.refillMag(i, size, m) {
+					break
+				}
+			}
+		}
+		if m.n > 0 {
+			m.n--
+			return m.addrs[m.n]
+		}
+	} else {
+		if a := al.allocBigFrom(th.shard, size); a != NilAddr {
+			return a
+		}
+		for i := range al.shards {
+			if i == th.shard {
+				continue
+			}
+			if a := al.allocBigFrom(i, size); a != NilAddr {
+				return a
+			}
+		}
+	}
+	panic(fmt.Sprintf("htm: arena exhausted allocating %d words (capacity %d; note: peer threads' magazines may cache freed blocks — size the arena with thread-cache headroom)", size, len(al.h.words)))
+}
+
+// allocBigFrom serves the slow path for sizes above maxMagSize from shard
+// si's map-backed free lists or bump region, returning NilAddr on failure.
+func (al *allocator) allocBigFrom(si, size int) Addr {
+	s := &al.shards[si]
+	s.mu.Lock()
+	if lst := s.big[size]; len(lst) > 0 {
 		a := lst[len(lst)-1]
-		s.free[size] = lst[:len(lst)-1]
+		s.big[size] = lst[:len(lst)-1]
 		s.mu.Unlock()
 		return a
 	}
@@ -75,53 +183,46 @@ func (al *allocator) allocFrom(si, size int) Addr {
 	return NilAddr
 }
 
-// alloc returns a zeroed, allocated block of size words, preferring the
-// given home shard. It panics if the arena is exhausted.
-func (al *allocator) alloc(home, size int) Addr {
+// alloc returns a zeroed, allocated block of size words for th. It panics if
+// the arena is exhausted.
+func (al *allocator) alloc(th *Thread, size int) Addr {
 	if size <= 0 {
 		panic("htm: alloc of non-positive size")
 	}
-	a := al.allocFrom(home, size)
-	if a == NilAddr {
-		for i := range al.shards {
-			if i == home {
-				continue
-			}
-			if a = al.allocFrom(i, size); a != NilAddr {
-				break
-			}
-		}
-	}
-	if a == NilAddr {
-		panic(fmt.Sprintf("htm: arena exhausted allocating %d words (capacity %d)", size, len(al.h.words)))
-	}
+	a := al.allocRaw(th, size)
 	h := al.h
 	h.words[a-1].Store(uint64(size)<<1 | headerAllocBit)
-	for w := a; w < a+Addr(size); w++ {
-		g := h.gens[w].Load()
+	words := h.words[a : a+Addr(size)]
+	gens := h.gens[a : a+Addr(size)]
+	for i := range words {
+		g := gens[i].Load()
 		if g&1 == 1 {
-			panic(fmt.Sprintf("htm: allocator invariant violation: word %#x already allocated", uint32(w)))
+			panic(fmt.Sprintf("htm: allocator invariant violation: word %#x already allocated", uint32(a)+uint32(i)))
 		}
-		h.words[w].Store(0)
-		h.gens[w].Store(g + 1)
+		words[i].Store(0)
+		gens[i].Store(g + 1)
 	}
-	h.stats.allocCalls.Add(1)
-	live := h.stats.liveWords.Add(uint64(size))
-	for {
-		m := h.stats.maxLiveWords.Load()
-		if live <= m || h.stats.maxLiveWords.CompareAndSwap(m, live) {
-			break
+	bump(&th.cell.allocCalls)
+	bumpBy(&th.cell.allocWords, uint64(size))
+	if h.cfg.trackMaxLive {
+		live := h.stats.liveWords.Add(uint64(size))
+		for {
+			m := h.stats.maxLiveWords.Load()
+			if live <= m || h.stats.maxLiveWords.CompareAndSwap(m, live) {
+				break
+			}
 		}
 	}
 	return a
 }
 
-// free returns the block whose payload starts at a to its shard's free list.
-// Every payload word's allocation generation is flipped to "free" and its
-// ownership record's version is bumped, so that any in-flight transaction
-// that read the block aborts at its next validation, and any later
-// transactional access aborts immediately (sandboxing).
-func (al *allocator) free(home int, a Addr) {
+// free returns the block whose payload starts at a to th's magazine (or, for
+// oversized blocks, to th's home shard). Every payload word's allocation
+// generation is flipped to "free" and its ownership record's version is
+// bumped, so that any in-flight transaction that read the block aborts at its
+// next validation, and any later transactional access aborts immediately
+// (sandboxing).
+func (al *allocator) free(th *Thread, a Addr) {
 	h := al.h
 	if !h.valid(a) {
 		panic(fmt.Sprintf("htm: free of invalid address %#x", uint32(a)))
@@ -132,6 +233,14 @@ func (al *allocator) free(home int, a Addr) {
 	}
 	size := int(hdr >> 1)
 	h.words[a-1].Store(uint64(size) << 1)
+	// One clock tick versions the whole block. Ordering matters: every orec
+	// is locked and every generation flipped BEFORE the tick, so a
+	// transaction whose rv can accept version wv necessarily began after the
+	// flips and fails its access check — it can never pair a pre-free read
+	// with a post-reallocation read under one timestamp. (Ticking first
+	// would open exactly that window for read-only transactions, which skip
+	// commit validation.) Blocks are disjoint and commit never blocks on a
+	// held orec, so holding the whole block's locks cannot deadlock.
 	for w := a; w < a+Addr(size); w++ {
 		h.lockOrec(w)
 		g := h.gens[w].Load()
@@ -139,13 +248,28 @@ func (al *allocator) free(home int, a Addr) {
 			panic(fmt.Sprintf("htm: free of already-free word %#x", uint32(w)))
 		}
 		h.gens[w].Store(g + 1)
-		h.releaseOrec(w, h.clock.Add(1))
 	}
-	h.stats.freeCalls.Add(1)
-	h.stats.liveWords.Add(^uint64(size - 1))
-	s := &al.shards[home]
+	wv := h.clock.Add(1)
+	for w := a; w < a+Addr(size); w++ {
+		h.releaseOrec(w, wv)
+	}
+	bump(&th.cell.freeCalls)
+	bumpBy(&th.cell.freeWords, uint64(size))
+	if h.cfg.trackMaxLive {
+		h.stats.liveWords.Add(^uint64(size - 1))
+	}
+	if size <= maxMagSize {
+		m := &th.mags[size]
+		if m.n == magCap {
+			al.drainMag(th.shard, size, m)
+		}
+		m.addrs[m.n] = a
+		m.n++
+		return
+	}
+	s := &al.shards[th.shard]
 	s.mu.Lock()
-	s.free[size] = append(s.free[size], a)
+	s.big[size] = append(s.big[size], a)
 	s.mu.Unlock()
 }
 

@@ -57,6 +57,15 @@ type Config struct {
 	// global lock that every transaction monitors.
 	EnableTLE bool
 
+	// NoMaxLive disables exact high-water tracking, removing the last
+	// globally shared counters from the allocation fast path. Stats then
+	// derives LiveWords from the per-thread cells and MaxLiveWords becomes
+	// the largest live count observed at any Stats snapshot. Both are exact
+	// when snapshots are taken at quiescence; a mid-run snapshot can tear
+	// across cells and over- or under-state them. Throughput-only runs set
+	// this; space-measured runs must leave it unset.
+	NoMaxLive bool
+
 	// YieldEvery makes a running transaction yield the processor after every
 	// N transactional accesses (0 = never). On hosts with fewer cores than
 	// simulated threads, goroutines otherwise run whole transactions within
@@ -66,6 +75,13 @@ type Config struct {
 	// conflict/abort gradient the paper sweeps is reproduced. Benchmarks set
 	// this; unit tests of engine semantics leave it 0.
 	YieldEvery int
+
+	// trackMaxLive is the derived internal form of !NoMaxLive: exact
+	// LiveWords/MaxLiveWords maintenance on the alloc/free path (a globally
+	// shared live counter plus a CAS high-water loop per allocation), which
+	// is what the paper's space figures need. Set by withDefaults so the
+	// zero Config is exact.
+	trackMaxLive bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,5 +98,6 @@ func (c Config) withDefaults() Config {
 		c.MaxRetries = defaultMaxRetries
 	}
 	c.Sandboxed = !c.NoSandbox
+	c.trackMaxLive = !c.NoMaxLive
 	return c
 }

@@ -44,8 +44,10 @@ type Heap struct {
 	// ntAccesses drives cooperative yields for non-transactional accesses
 	// when Config.YieldEvery is set, so that HTM-free algorithms pay the
 	// same simulated per-access time as transactional ones on
-	// under-provisioned hosts.
-	ntAccesses atomic.Uint64
+	// under-provisioned hosts. ntYieldThresh is 2^64/YieldEvery (0 = never),
+	// making the per-access decision a hash-and-compare, not a division.
+	ntAccesses    atomic.Uint64
+	ntYieldThresh uint64
 }
 
 // NewHeap creates a Heap with the given configuration (zero value for
@@ -58,6 +60,7 @@ func NewHeap(cfg Config) *Heap {
 		orecs: make([]atomic.Uint64, cfg.Words),
 		gens:  make([]atomic.Uint32, cfg.Words),
 	}
+	h.ntYieldThresh = yieldThreshold(cfg.YieldEvery)
 	h.alloc.init(h)
 	return h
 }
@@ -75,12 +78,28 @@ func (h *Heap) allocated(a Addr) bool {
 	return h.valid(a) && h.gens[a].Load()&1 == 1
 }
 
+// yieldThreshold converts Config.YieldEvery into the compare threshold used
+// by the per-access yield checks: a uniformly random uint64 falls below it
+// with probability 1/y. YieldEvery=1 saturates to always-yield (the naive
+// 2^64/1+1 would wrap to zero and disable yielding entirely).
+func yieldThreshold(y int) uint64 {
+	switch {
+	case y <= 0:
+		return 0
+	case y == 1:
+		return ^uint64(0)
+	default:
+		return ^uint64(0)/uint64(y) + 1
+	}
+}
+
 // maybeYieldNT models access time for non-transactional operations; see
 // Config.YieldEvery. A shared counter (cheap on the hosts where this is on)
-// spreads yields evenly across all NT traffic.
+// spreads yields across all NT traffic; hashing it keeps the expected rate at
+// one yield per YieldEvery accesses without a per-access division.
 func (h *Heap) maybeYieldNT() {
-	if y := h.cfg.YieldEvery; y > 0 {
-		if h.ntAccesses.Add(1)%uint64(y) == 0 {
+	if h.ntYieldThresh != 0 {
+		if h.ntAccesses.Add(1)*0x9E3779B97F4A7C15 < h.ntYieldThresh {
 			runtime.Gosched()
 		}
 	}

@@ -1,0 +1,95 @@
+package htm
+
+// setLinearMax is the read/write set size up to which membership tests use a
+// plain linear scan of the backing slice. Most of the paper's transactions
+// (queue operations, telescoped collect steps) stay under it; past it the
+// transaction switches to a setIndex, keeping Load/Store O(1) instead of the
+// O(n) scan that made large transactions quadratic.
+const setLinearMax = 8
+
+// setIndex is an open-addressing hash index mapping a word address to its
+// slot in a transaction's read or write set. Slots are generation-stamped so
+// clearing the index between uses is O(1) (bump the generation); the table is
+// reused across transaction attempts, so steady-state operation allocates
+// nothing.
+type idxSlot struct {
+	addr Addr
+	gen  uint32
+	slot int32
+}
+
+type setIndex struct {
+	slots []idxSlot
+	gen   uint32
+	n     int
+}
+
+func idxHash(a Addr) uint32 {
+	return uint32((uint64(a) * 0x9E3779B97F4A7C15) >> 32)
+}
+
+// reset empties the index in O(1) by advancing the generation stamp.
+func (ix *setIndex) reset() {
+	if len(ix.slots) == 0 {
+		return
+	}
+	ix.n = 0
+	ix.gen++
+	if ix.gen == 0 { // stamp wrapped: scrub stale matches once
+		for i := range ix.slots {
+			ix.slots[i].gen = 0
+		}
+		ix.gen = 1
+	}
+}
+
+// lookup returns the set slot recorded for a, or -1.
+func (ix *setIndex) lookup(a Addr) int {
+	mask := uint32(len(ix.slots) - 1)
+	for i := idxHash(a) & mask; ; i = (i + 1) & mask {
+		s := &ix.slots[i]
+		if s.gen != ix.gen {
+			return -1
+		}
+		if s.addr == a {
+			return int(s.slot)
+		}
+	}
+}
+
+// insert records that a lives at the given set slot. The caller guarantees a
+// is not already present.
+func (ix *setIndex) insert(a Addr, slot int) {
+	if len(ix.slots) == 0 {
+		ix.slots = make([]idxSlot, 4*setLinearMax)
+		ix.gen = 1
+	} else if ix.n*4 >= len(ix.slots)*3 {
+		ix.rehash(len(ix.slots) * 2)
+	}
+	ix.place(a, slot)
+}
+
+func (ix *setIndex) place(a Addr, slot int) {
+	mask := uint32(len(ix.slots) - 1)
+	i := idxHash(a) & mask
+	for ix.slots[i].gen == ix.gen {
+		i = (i + 1) & mask
+	}
+	ix.slots[i] = idxSlot{addr: a, gen: ix.gen, slot: int32(slot)}
+	ix.n++
+}
+
+// rehash doubles the table, re-placing live entries. It runs only when the
+// set outgrows every previous attempt's size, so steady state never rehashes.
+func (ix *setIndex) rehash(size int) {
+	old := ix.slots
+	oldGen := ix.gen
+	ix.slots = make([]idxSlot, size)
+	ix.gen = 1
+	ix.n = 0
+	for i := range old {
+		if old[i].gen == oldGen {
+			ix.place(old[i].addr, int(old[i].slot))
+		}
+	}
+}

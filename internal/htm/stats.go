@@ -3,21 +3,79 @@ package htm
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
 const numAbortCodes = int(AbortCapacity) + 1
 
-// stats is the heap-internal statistics block, updated with atomics.
-type stats struct {
+// statCell is one thread's statistics block. Each Thread owns a cell and
+// updates only it, so the counters are uncontended in steady state; the cell
+// is padded to two 64-byte cache lines so cells that end up adjacent in
+// memory never false-share. The fields are atomics only so that Heap.Stats
+// may read them while threads run.
+type statCell struct {
 	starts       atomic.Uint64
 	commits      atomic.Uint64
 	aborts       [numAbortCodes]atomic.Uint64
 	fallbackRuns atomic.Uint64
 	allocCalls   atomic.Uint64
 	freeCalls    atomic.Uint64
+	allocWords   atomic.Uint64
+	freeWords    atomic.Uint64
+	_            [16]byte // pads the 14 counters (112 B) to 128 B
+}
+
+// stats is the heap-internal statistics block: a registry of per-thread
+// cells, plus the exact global live/high-water pair maintained on the alloc
+// path unless Config.NoMaxLive is set (throughput-only runs).
+type stats struct {
 	liveWords    atomic.Uint64
 	maxLiveWords atomic.Uint64
+
+	mu    sync.Mutex
+	cells []*statCell
+}
+
+// bump and bumpBy update a statCell counter. Each cell has a single writer
+// (its owning thread), so a plain load+store pair — two MOVs on x86 — stands
+// in for the atomic read-modify-write; the fields stay atomic only so that
+// Heap.Stats can read them concurrently without a data race.
+func bump(c *atomic.Uint64) { c.Store(c.Load() + 1) }
+
+func bumpBy(c *atomic.Uint64, n uint64) { c.Store(c.Load() + n) }
+
+// register adds a fresh cell for a new thread.
+func (st *stats) register() *statCell {
+	c := &statCell{}
+	st.mu.Lock()
+	st.cells = append(st.cells, c)
+	st.mu.Unlock()
+	return c
+}
+
+// snapshotCells copies the registry so summation can proceed unlocked.
+func (st *stats) snapshotCells() []*statCell {
+	st.mu.Lock()
+	cells := make([]*statCell, len(st.cells))
+	copy(cells, st.cells)
+	st.mu.Unlock()
+	return cells
+}
+
+// cellLive sums the per-thread words counters into a current live estimate,
+// clamped at zero (a mid-flight snapshot can observe a free before the
+// matching alloc on another cell).
+func (st *stats) cellLive() uint64 {
+	var alloc, freed uint64
+	for _, c := range st.snapshotCells() {
+		alloc += c.allocWords.Load()
+		freed += c.freeWords.Load()
+	}
+	if freed > alloc {
+		return 0
+	}
+	return alloc - freed
 }
 
 // Stats is a point-in-time snapshot of heap and transaction statistics.
@@ -34,7 +92,11 @@ type Stats struct {
 	AllocCalls, FreeCalls uint64
 	// LiveWords is the number of currently allocated payload words;
 	// MaxLiveWords is its high-water mark. These drive the paper's
-	// space-usage comparisons.
+	// space-usage comparisons and are exact in the default configuration.
+	// With Config.NoMaxLive both are derived from unsynchronized per-thread
+	// counters: exact when snapshotted at quiescence (how the harness uses
+	// them), approximate — possibly in either direction — if snapshotted
+	// mid-run. Space-measured experiments must not set NoMaxLive.
 	LiveWords, MaxLiveWords uint64
 }
 
@@ -75,30 +137,47 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// Stats returns a snapshot of the heap's counters. Counters are read without
-// mutual exclusion, so concurrent activity may be partially reflected; this
-// is acceptable for the reporting the snapshot feeds.
+// Stats returns a snapshot of the heap's counters, aggregated across all
+// per-thread cells. Counters are read without mutual exclusion, so concurrent
+// activity may be partially reflected; this is acceptable for the reporting
+// the snapshot feeds, and the snapshot is exact at quiescence.
 func (h *Heap) Stats() Stats {
-	s := Stats{
-		Starts:       h.stats.starts.Load(),
-		Commits:      h.stats.commits.Load(),
-		Aborts:       make(map[AbortCode]uint64, numAbortCodes),
-		FallbackRuns: h.stats.fallbackRuns.Load(),
-		AllocCalls:   h.stats.allocCalls.Load(),
-		FreeCalls:    h.stats.freeCalls.Load(),
-		LiveWords:    h.stats.liveWords.Load(),
-		MaxLiveWords: h.stats.maxLiveWords.Load(),
-	}
-	for c := 1; c < numAbortCodes; c++ {
-		if n := h.stats.aborts[c].Load(); n > 0 {
-			s.Aborts[AbortCode(c)] = n
+	s := Stats{Aborts: make(map[AbortCode]uint64, numAbortCodes)}
+	for _, c := range h.stats.snapshotCells() {
+		s.Starts += c.starts.Load()
+		s.Commits += c.commits.Load()
+		s.FallbackRuns += c.fallbackRuns.Load()
+		s.AllocCalls += c.allocCalls.Load()
+		s.FreeCalls += c.freeCalls.Load()
+		for code := 1; code < numAbortCodes; code++ {
+			if n := c.aborts[code].Load(); n > 0 {
+				s.Aborts[AbortCode(code)] += n
+			}
 		}
 	}
+	if h.cfg.trackMaxLive {
+		s.LiveWords = h.stats.liveWords.Load()
+		s.MaxLiveWords = h.stats.maxLiveWords.Load()
+		return s
+	}
+	live := h.stats.cellLive()
+	s.LiveWords = live
+	for {
+		m := h.stats.maxLiveWords.Load()
+		if live <= m || h.stats.maxLiveWords.CompareAndSwap(m, live) {
+			break
+		}
+	}
+	s.MaxLiveWords = h.stats.maxLiveWords.Load()
 	return s
 }
 
 // ResetMaxLive resets the live-words high-water mark to the current live
 // count, so space measurements can be scoped to an experiment phase.
 func (h *Heap) ResetMaxLive() {
-	h.stats.maxLiveWords.Store(h.stats.liveWords.Load())
+	if h.cfg.trackMaxLive {
+		h.stats.maxLiveWords.Store(h.stats.liveWords.Load())
+		return
+	}
+	h.stats.maxLiveWords.Store(h.stats.cellLive())
 }

@@ -17,12 +17,19 @@ type Thread struct {
 	txn   Txn
 	inTxn bool
 
+	// cell is this thread's private statistics block; see stats.
+	cell *statCell
+
 	// prevOrecs is scratch space reused by commits.
 	prevOrecs []uint64
 
 	// Attempt outcome counters for this thread.
 	attempts uint64
 	commits  uint64
+
+	// mags are the per-size-class allocator magazines (see alloc.go); they
+	// serve the alloc/free fast path with no locking.
+	mags [maxMagSize + 1]magazine
 }
 
 // NewThread creates an execution context bound to the heap. Each worker
@@ -34,9 +41,16 @@ func (h *Heap) NewThread() *Thread {
 		id:    id,
 		shard: int(id) & (len(h.alloc.shards) - 1),
 		rng:   id*0x9E3779B97F4A7C15 | 1,
+		cell:  h.stats.register(),
 	}
 	th.txn.th = th
 	th.txn.h = h
+	th.txn.words = h.words
+	th.txn.orecs = h.orecs
+	th.txn.gens = h.gens
+	th.txn.yieldThresh = h.ntYieldThresh // same conversion as NT accesses
+	th.txn.maxReadSet = h.cfg.MaxReadSet
+	th.txn.storeBufSize = h.cfg.StoreBufferSize
 	return th
 }
 
@@ -48,14 +62,14 @@ func (th *Thread) Heap() *Heap { return th.h }
 
 // Alloc allocates a zeroed block of size words outside any transaction.
 func (th *Thread) Alloc(size int) Addr {
-	return th.h.alloc.alloc(th.shard, size)
+	return th.h.alloc.alloc(th, size)
 }
 
 // Free returns the block whose payload starts at a to the heap. Freeing
 // memory that a concurrent transaction is using is safe: the transaction
 // aborts (sandboxing) instead of observing reused memory.
 func (th *Thread) Free(a Addr) {
-	th.h.alloc.free(th.shard, a)
+	th.h.alloc.free(th, a)
 }
 
 // BlockSize returns the payload size in words of the allocated block at a.
@@ -108,7 +122,7 @@ func (th *Thread) begin() *Txn {
 	}
 	t.rv = h.clock.Load()
 	th.attempts++
-	h.stats.starts.Add(1)
+	bump(&th.cell.starts)
 	return t
 }
 
@@ -118,7 +132,19 @@ func (th *Thread) begin() *Txn {
 // Collect loops, which adapt their step size to abort feedback.
 //
 // f may be re-executed by other calls and must be restartable; see Txn.
-func (th *Thread) TryAtomic(f func(*Txn)) (err error) {
+func (th *Thread) TryAtomic(f func(*Txn)) error {
+	code, addr, ok := th.tryAtomic(f)
+	if ok {
+		return nil
+	}
+	return &AbortError{Code: code, Addr: addr}
+}
+
+// tryAtomic runs one attempt and reports its outcome without materializing an
+// error, so the Atomic retry loop pays nothing extra per abort. In-body
+// aborts arrive as the abortSentinel panic; commit-time aborts arrive by
+// return value and skip unwinding.
+func (th *Thread) tryAtomic(f func(*Txn)) (code AbortCode, addr Addr, ok bool) {
 	if th.inTxn {
 		panic("htm: nested transactions are not supported")
 	}
@@ -127,20 +153,23 @@ func (th *Thread) TryAtomic(f func(*Txn)) (err error) {
 	defer func() {
 		th.inTxn = false
 		if r := recover(); r != nil {
-			ab, ok := r.(txnAbort)
-			if !ok {
+			if r != abortSentinel {
 				panic(r) // user panic: propagate
 			}
 			t.rollbackAllocs()
-			th.h.stats.aborts[ab.code].Add(1)
-			err = &AbortError{Code: ab.code, Addr: ab.addr}
+			bump(&th.cell.aborts[t.abortCode])
+			code, addr = t.abortCode, t.abortAddr
 		}
 	}()
 	f(t)
-	t.commit()
+	if code, addr = t.commit(); code != 0 {
+		t.rollbackAllocs()
+		bump(&th.cell.aborts[code])
+		return code, addr, false
+	}
 	th.commits++
-	th.h.stats.commits.Add(1)
-	return nil
+	bump(&th.cell.commits)
+	return 0, NilAddr, true
 }
 
 // Atomic executes f atomically, retrying with exponential backoff until it
@@ -150,19 +179,19 @@ func (th *Thread) TryAtomic(f func(*Txn)) (err error) {
 // retrying forever.
 func (th *Thread) Atomic(f func(*Txn)) {
 	for attempt := 0; ; attempt++ {
-		err := th.TryAtomic(f)
-		if err == nil {
+		code, addr, ok := th.tryAtomic(f)
+		if ok {
 			return
 		}
-		ab := err.(*AbortError)
 		cfg := &th.h.cfg
 		if cfg.EnableTLE && attempt+1 >= cfg.MaxRetries {
 			th.runFallback(f)
 			return
 		}
-		if ab.Code == AbortOverflow && !cfg.EnableTLE {
+		if code == AbortOverflow && !cfg.EnableTLE {
 			// Deterministic failure: the same body will overflow again.
-			panic(fmt.Sprintf("htm: transaction overflows the %d-entry store buffer and no TLE fallback is enabled: %v", cfg.StoreBufferSize, err))
+			panic(fmt.Sprintf("htm: transaction overflows the %d-entry store buffer and no TLE fallback is enabled: %v",
+				cfg.StoreBufferSize, &AbortError{Code: code, Addr: addr}))
 		}
 		th.backoff(attempt)
 	}
@@ -188,8 +217,8 @@ func (th *Thread) runFallback(f func(*Txn)) {
 		h.fallbackSeq.Add(1) // even: released
 	}()
 	f(t)
-	t.commit()
-	h.stats.fallbackRuns.Add(1)
+	t.commit() // direct commits cannot abort
+	bump(&th.cell.fallbackRuns)
 }
 
 // AttemptStats returns the number of transaction attempts and commits made

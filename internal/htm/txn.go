@@ -3,15 +3,18 @@ package htm
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 )
 
 // txnAbort is the internal panic payload used to unwind a failed transaction
-// attempt back to the retry loop. It is distinct from AbortError so that user
-// panics are never mistaken for engine aborts.
-type txnAbort struct {
-	code AbortCode
-	addr Addr
-}
+// attempt back to the retry loop from inside the transaction body. It is a
+// preallocated sentinel — panicking with it never allocates, and it can never
+// be mistaken for a user panic; the abort's code and address travel in the
+// Txn. Aborts detected at commit time (after the body returned) skip panic
+// unwinding entirely and propagate by return value.
+type txnAbort struct{}
+
+var abortSentinel = &txnAbort{}
 
 type readEntry struct {
 	addr Addr
@@ -39,10 +42,88 @@ type Txn struct {
 	frees  []Addr // to free after commit
 	allocs []Addr // allocated inside the txn; rolled back on abort
 	direct bool   // executing under the TLE fallback lock
+
+	// abortCode/abortAddr carry the failure reason of an in-body abort while
+	// the abortSentinel panic unwinds to the retry loop.
+	abortCode AbortCode
+	abortAddr Addr
+
+	// Hot-path caches of immutable heap state, set once when the descriptor
+	// is bound to its thread: they save a pointer chase through t.h (and its
+	// cfg) on every transactional access.
+	words        []atomic.Uint64
+	orecs        []atomic.Uint64
+	gens         []atomic.Uint32
+	yieldThresh  uint64 // rand() below this yields; 0 = never (see maybeYield)
+	maxReadSet   int
+	storeBufSize int
+
+	// Read-set dedup state: rfilter is a 512-bit presence filter over read
+	// addresses (two hash bits per address). A load whose bits are clear is
+	// definitely new and appends without any lookup — the common case on
+	// scan-shaped transactions. When both bits are set the read is confirmed
+	// against rindex, built lazily from the read set on the first suspected
+	// repeat (rindexed tracks whether it is current for this attempt).
+	rfilter  [readFilterWords]uint64
+	rindexed bool
+	rindex   setIndex
+
+	// windex indexes the write set by address once it outgrows setLinearMax,
+	// keeping read-own-writes lookups O(1). It is rebuilt from scratch when
+	// the set crosses the threshold, so reset() does not need to touch it.
+	windex setIndex
+}
+
+// readFilterWords sizes rfilter; 8 words = 512 bits keeps the false-positive
+// rate low for read sets up to a few hundred words.
+const readFilterWords = 8
+
+// findWrite returns the write-set slot holding a, or -1.
+func (t *Txn) findWrite(a Addr) int {
+	w := t.writes
+	if len(w) <= setLinearMax {
+		for i := range w {
+			if w[i].addr == a {
+				return i
+			}
+		}
+		return -1
+	}
+	return t.windex.lookup(a)
+}
+
+// addWrite appends a new write entry, indexing it past the linear threshold.
+func (t *Txn) addWrite(a Addr, v uint64) {
+	t.writes = append(t.writes, writeEntry{addr: a, val: v})
+	if n := len(t.writes); n > setLinearMax {
+		if n == setLinearMax+1 {
+			t.windex.reset()
+			for i := range t.writes {
+				t.windex.insert(t.writes[i].addr, i)
+			}
+		} else {
+			t.windex.insert(a, n-1)
+		}
+	}
+}
+
+// confirmRead reports whether a is in the read set, building the exact index
+// on the first suspected repeat of this attempt.
+func (t *Txn) confirmRead(a Addr) bool {
+	if !t.rindexed {
+		t.rindex.reset()
+		for i := range t.reads {
+			t.rindex.insert(t.reads[i].addr, i)
+		}
+		t.rindexed = true
+	}
+	return t.rindex.lookup(a) >= 0
 }
 
 func (t *Txn) abort(code AbortCode, a Addr) {
-	panic(txnAbort{code: code, addr: a})
+	t.abortCode = code
+	t.abortAddr = a
+	panic(abortSentinel)
 }
 
 // Abort explicitly aborts the current transaction attempt. Thread.Atomic
@@ -54,11 +135,17 @@ func (t *Txn) Abort() {
 
 // checkAccess validates that a names an allocated word, aborting with
 // AbortIllegal under sandboxing or panicking (simulated segmentation fault)
-// otherwise.
+// otherwise. The direct (TLE fallback) paths call it; Load and Store inline
+// the identical guard by hand because the combined check+call exceeds the
+// compiler's inlining budget — keep the three copies in sync.
 func (t *Txn) checkAccess(a Addr, op string) {
-	if t.h.valid(a) && t.h.gens[a].Load()&1 == 1 {
+	if a != NilAddr && int(a) < len(t.gens) && t.gens[a].Load()&1 == 1 {
 		return
 	}
+	t.accessFault(a, op)
+}
+
+func (t *Txn) accessFault(a Addr, op string) {
 	if t.h.cfg.Sandboxed && !t.direct {
 		t.abort(AbortIllegal, a)
 	}
@@ -71,7 +158,7 @@ func (t *Txn) checkAccess(a Addr, op string) {
 func (t *Txn) validate() bool {
 	for i := range t.reads {
 		r := &t.reads[i]
-		o := t.h.orecs[r.addr].Load()
+		o := t.orecs[r.addr].Load()
 		if orecLocked(o) || orecVersion(o) != r.ver {
 			return false
 		}
@@ -102,11 +189,17 @@ func (t *Txn) extend() {
 // YieldEvery accesses): a deterministic cadence would park every attempt of a
 // given transaction at the same point — e.g. right before commit — making
 // hot-word conflicts certain instead of probable and livelocking retries.
+// yieldThresh precomputes 2^64/YieldEvery so the per-access check is a
+// compare, not a division.
 func (t *Txn) maybeYield() {
-	if y := t.h.cfg.YieldEvery; y > 0 {
-		if t.th.rand()%uint64(y) == 0 {
-			runtime.Gosched()
-		}
+	if t.yieldThresh != 0 {
+		t.yieldSlow()
+	}
+}
+
+func (t *Txn) yieldSlow() {
+	if t.th.rand() < t.yieldThresh {
+		runtime.Gosched()
 	}
 }
 
@@ -117,36 +210,67 @@ func (t *Txn) Load(a Addr) uint64 {
 		return t.h.LoadNT(a)
 	}
 	t.maybeYield()
-	t.checkAccess(a, "load")
-	for i := range t.writes {
-		if t.writes[i].addr == a {
-			return t.writes[i].val
+	if a == NilAddr || int(a) >= len(t.gens) {
+		t.accessFault(a, "load")
+	}
+	if i := t.findWrite(a); i >= 0 {
+		// Read-own-write still faults at the access if the word was freed
+		// since the store — same semantics as Store and the loop below.
+		if t.gens[a].Load()&1 == 0 {
+			t.accessFault(a, "load")
 		}
+		return t.writes[i].val
 	}
 	for spins := 0; ; spins++ {
-		o1 := t.h.orecs[a].Load()
+		o1 := t.orecs[a].Load()
 		if orecLocked(o1) {
 			if spins < 64 {
 				continue // writer is in its (short) commit write-back
 			}
 			t.abort(AbortConflict, a)
 		}
-		v := t.h.words[a].Load()
-		if t.h.orecs[a].Load() != o1 {
+		// The allocation-generation check sits between the orec read and the
+		// value read: free() flips the generation before releasing the orec,
+		// so gens-odd here plus an unchanged orec below proves the value is a
+		// read of then-live memory. A pre-loop-only check would race with a
+		// free completing in between and hand freed memory to a read-only
+		// transaction that never validates.
+		if t.gens[a].Load()&1 == 0 {
+			t.accessFault(a, "load")
+		}
+		v := t.words[a].Load()
+		if t.orecs[a].Load() != o1 {
 			continue
 		}
 		if orecVersion(o1) > t.rv {
 			t.extend()
 			// The word may have changed again between the value read and the
 			// extension; re-read under the new timestamp.
-			if t.h.orecs[a].Load() != o1 {
+			if t.orecs[a].Load() != o1 {
 				continue
 			}
 		}
-		if t.h.cfg.MaxReadSet >= 0 && len(t.reads) >= t.h.cfg.MaxReadSet {
+		// Repeated reads do not grow the read set: the entry recorded by the
+		// first read still guards this word (any later write to it carries a
+		// version above rv and the extension above would have aborted), so a
+		// duplicate would only inflate validate() and burn MaxReadSet
+		// capacity the distinct working set never used.
+		// Two hash bits within one filter word: one load tests both, one
+		// store sets both.
+		hb := idxHash(a)
+		fw := (hb >> 12) & (readFilterWords - 1)
+		m := uint64(1)<<(hb&63) | uint64(1)<<((hb>>6)&63)
+		if t.rfilter[fw]&m == m && t.confirmRead(a) {
+			return v
+		}
+		if t.maxReadSet >= 0 && len(t.reads) >= t.maxReadSet {
 			t.abort(AbortCapacity, a)
 		}
 		t.reads = append(t.reads, readEntry{addr: a, ver: orecVersion(o1)})
+		t.rfilter[fw] |= m
+		if t.rindexed {
+			t.rindex.insert(a, len(t.reads)-1)
+		}
 		return v
 	}
 }
@@ -162,17 +286,17 @@ func (t *Txn) Store(a Addr, v uint64) {
 		return
 	}
 	t.maybeYield()
-	t.checkAccess(a, "store")
-	for i := range t.writes {
-		if t.writes[i].addr == a {
-			t.writes[i].val = v
-			return
-		}
+	if a == NilAddr || int(a) >= len(t.gens) || t.gens[a].Load()&1 == 0 {
+		t.accessFault(a, "store")
 	}
-	if t.h.cfg.StoreBufferSize >= 0 && len(t.writes) >= t.h.cfg.StoreBufferSize {
+	if i := t.findWrite(a); i >= 0 {
+		t.writes[i].val = v
+		return
+	}
+	if t.storeBufSize >= 0 && len(t.writes) >= t.storeBufSize {
 		t.abort(AbortOverflow, a)
 	}
-	t.writes = append(t.writes, writeEntry{addr: a, val: v})
+	t.addWrite(a, v)
 }
 
 // Add transactionally adds delta to the word at a and returns the new value.
@@ -215,13 +339,15 @@ func (t *Txn) rollbackAllocs() {
 	t.allocs = t.allocs[:0]
 }
 
-// commit attempts to atomically publish the transaction's writes. It aborts
-// (panics with txnAbort) on validation failure.
-func (t *Txn) commit() {
+// commit attempts to atomically publish the transaction's writes. It returns
+// the zero AbortCode on success and the failure reason otherwise; running
+// after the transaction body has returned, it can report aborts by value and
+// skip panic unwinding entirely.
+func (t *Txn) commit() (AbortCode, Addr) {
 	h := t.h
 	if t.direct {
 		t.runFrees()
-		return
+		return 0, NilAddr
 	}
 	if len(t.writes) == 0 {
 		// Read-only transactions hold a consistent snapshot as of rv at all
@@ -229,45 +355,48 @@ func (t *Txn) commit() {
 		// as on real HTM, where an uncontended read-only transaction simply
 		// commits.
 		t.runFrees()
-		return
+		return 0, NilAddr
 	}
 	// Guard against the TLE fallback lock: commits may not overlap a
-	// fallback critical section.
-	h.activeCommits.Add(1)
-	committed := false
-	defer func() {
-		if !committed {
+	// fallback critical section. Without TLE no fallback can ever run, so
+	// the shared activeCommits fence is skipped entirely.
+	tle := h.cfg.EnableTLE
+	if tle {
+		h.activeCommits.Add(1)
+		if h.fallbackSeq.Load() != t.fbSeq {
 			h.activeCommits.Add(^uint64(0))
+			return AbortFallback, NilAddr
 		}
-	}()
-	if h.fallbackSeq.Load() != t.fbSeq {
-		t.abort(AbortFallback, NilAddr)
 	}
 
 	// Acquire ownership of the write set; on any failure release what was
 	// taken and abort.
 	acquired := 0
 	prev := t.th.prevOrecs[:0]
-	release := func() {
+	fail := func(code AbortCode, a Addr) (AbortCode, Addr) {
 		for i := 0; i < acquired; i++ {
 			h.releaseOrecUnchanged(t.writes[i].addr, prev[i])
 		}
+		t.th.prevOrecs = prev
+		if tle {
+			h.activeCommits.Add(^uint64(0))
+		}
+		return code, a
 	}
 	for i := range t.writes {
 		a := t.writes[i].addr
 		o := h.orecs[a].Load()
 		if orecLocked(o) || !h.orecs[a].CompareAndSwap(o, o|orecLockBit) {
-			release()
-			t.abort(AbortConflict, a)
+			return fail(AbortConflict, a)
 		}
 		prev = append(prev, o)
 		acquired++
 		if h.gens[a].Load()&1 == 0 {
 			// The word was freed between our access and commit.
-			release()
 			if h.cfg.Sandboxed {
-				t.abort(AbortIllegal, a)
+				return fail(AbortIllegal, a)
 			}
+			fail(AbortIllegal, a)
 			panic(fmt.Sprintf("htm: commit to freed word %#x without sandboxing", uint32(a)))
 		}
 	}
@@ -281,22 +410,13 @@ func (t *Txn) commit() {
 		r := &t.reads[i]
 		o := h.orecs[r.addr].Load()
 		if orecLocked(o) {
-			ok := false
-			for j := range t.writes {
-				if t.writes[j].addr == r.addr {
-					ok = orecVersion(prev[j]) == r.ver
-					break
-				}
-			}
-			if ok {
+			if j := t.findWrite(r.addr); j >= 0 && orecVersion(prev[j]) == r.ver {
 				continue
 			}
-			release()
-			t.abort(AbortConflict, r.addr)
+			return fail(AbortConflict, r.addr)
 		}
 		if orecVersion(o) != r.ver {
-			release()
-			t.abort(AbortConflict, r.addr)
+			return fail(AbortConflict, r.addr)
 		}
 	}
 
@@ -306,9 +426,11 @@ func (t *Txn) commit() {
 	for i := range t.writes {
 		h.releaseOrec(t.writes[i].addr, wv)
 	}
-	committed = true
-	h.activeCommits.Add(^uint64(0))
+	if tle {
+		h.activeCommits.Add(^uint64(0))
+	}
 	t.runFrees()
+	return 0, NilAddr
 }
 
 func (t *Txn) runFrees() {
@@ -326,10 +448,13 @@ func (t *Txn) reset() {
 	t.direct = false
 	t.rv = 0
 	t.fbSeq = 0
+	t.rfilter = [readFilterWords]uint64{}
+	t.rindexed = false
 }
 
 // ReadSetSize and WriteSetSize report the current footprint of the attempt;
 // useful for tests and for algorithms that adapt transaction size.
+// ReadSetSize counts distinct words read (repeat reads are deduplicated).
 func (t *Txn) ReadSetSize() int { return len(t.reads) }
 
 // WriteSetSize reports the number of distinct words buffered for writing.
