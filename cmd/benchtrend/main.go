@@ -1,0 +1,60 @@
+// Command benchtrend diffs two machine-readable benchmark snapshots
+// (harness.Report JSON, as written by `queuebench -json`, `experiments -json`,
+// `collectbench -json`, or committed as BENCH_<PR>.json) and gates on
+// regressions: every series point and microbenchmark present in both reports
+// is compared, deltas are printed as a table, and the exit status is nonzero
+// if any throughput-direction metric moved against its direction by more
+// than the threshold (default 10%).
+//
+// Usage:
+//
+//	benchtrend [-threshold 10] OLD.json NEW.json
+//
+// Exit status: 0 = no regressions, 1 = regressions beyond the threshold,
+// 2 = usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	threshold := flag.Float64("threshold", 10, "regression gate in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtrend [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return 2
+	}
+	oldR, err := harness.ReadJSONFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		return 2
+	}
+	newR, err := harness.ReadJSONFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		return 2
+	}
+	tr := harness.DiffReports(oldR, newR, *threshold)
+	fmt.Print(tr.Render())
+	if len(tr.Rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: no matching points between %s and %s\n", flag.Arg(0), flag.Arg(1))
+		return 2
+	}
+	if len(tr.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	collectbench -exp fig3 [-duration 200ms] [-threads 16] [-quick]
+//	             [-json out.json] [-label name]
 //
 // Experiments: latency, fig3, fig4, fig5, fig6, fig7, fig8, space, all.
 package main
@@ -28,6 +29,8 @@ func run() int {
 	dur := flag.Duration("duration", 200*time.Millisecond, "measured duration per data point")
 	threads := flag.Int("threads", 16, "maximum simulated thread count")
 	quick := flag.Bool("quick", false, "use a reduced sweep for a fast smoke run")
+	jsonOut := flag.String("json", "", "also write results as a machine-readable Report to this file")
+	label := flag.String("label", "collectbench", "label recorded in the -json report")
 	flag.Parse()
 
 	cfg := harness.Config{
@@ -66,6 +69,16 @@ func run() int {
 		updaters = 1
 	}
 
+	rep := harness.NewReport(*label)
+	rep.SetConfig("exp", *exp)
+	rep.SetConfig("duration", cfg.PointDuration.String())
+	rep.SetConfig("threads", fmt.Sprint(*threads))
+	rep.SetConfig("quick", fmt.Sprint(*quick))
+	table := func(t *harness.Table) {
+		fmt.Println(t.Render())
+		rep.AddTable(t)
+	}
+
 	ran := false
 	want := func(name string) bool {
 		if *exp == name || *exp == "all" {
@@ -75,33 +88,42 @@ func run() int {
 		return false
 	}
 	if want("latency") {
-		fmt.Println(harness.UpdateLatencyTable(cfg, 200000).Render())
+		table(harness.UpdateLatencyTable(cfg, 200000))
 	}
 	if want("fig3") {
-		fmt.Println(harness.Fig3(cfg, tc).Render())
+		table(harness.Fig3(cfg, tc))
 	}
 	if want("fig4") {
-		fmt.Println(harness.Fig4(cfg, updaters, periods4).Render())
+		table(harness.Fig4(cfg, updaters, periods4))
 	}
 	if want("fig5") {
-		fmt.Println(harness.Fig5(cfg, updaters, periods4).Render())
+		table(harness.Fig5(cfg, updaters, periods4))
 	}
 	if want("fig6") {
-		fmt.Println(harness.Fig6(cfg, updaters, periods6).Render())
+		fig6 := harness.Fig6(cfg, updaters, periods6)
+		fmt.Println(fig6.Render())
+		rep.AddHist(fig6)
 	}
 	if want("fig7") {
-		fmt.Println(harness.Fig7(cfg, updaters, periods7).Render())
+		table(harness.Fig7(cfg, updaters, periods7))
 	}
 	if want("fig8") {
-		fmt.Println(harness.Fig8Table(harness.Fig8(cfg, updaters, 500, fig8Total, 100)).Render())
+		table(harness.Fig8Table(harness.Fig8(cfg, updaters, 500, fig8Total, 100)))
 	}
 	if want("space") {
-		fmt.Println(harness.SpaceTable(cfg).Render())
+		table(harness.SpaceTable(cfg))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		return 2
+	}
+	if *jsonOut != "" {
+		if err := rep.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "collectbench: write %s: %v\n", *jsonOut, err)
+			return 1
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
 	}
 	return 0
 }

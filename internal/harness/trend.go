@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bench-trend diffing: compare two Reports point by point so successive
+// BENCH_*.json snapshots (or a CI run against the committed snapshot) become
+// a regression gate instead of an archive. Matching is by identity — table
+// title + series label + x position, or benchmark name — so runs with
+// different sweeps simply compare their intersection.
+
+// Direction classifies how a metric should move to count as an improvement.
+type Direction int
+
+const (
+	// Informational metrics (bytes, percentages, counts) are diffed and
+	// printed but never gate.
+	Informational Direction = 0
+	// HigherIsBetter marks throughput-style metrics (ops/us).
+	HigherIsBetter Direction = 1
+	// LowerIsBetter marks latency-style metrics (ns/op, cycles).
+	LowerIsBetter Direction = -1
+)
+
+// pointDirection infers a table point's Direction from its table title and
+// column label. Column-level units (the QueueComparison table mixes ops/us,
+// ns/op and bytes across columns) take precedence over the title-level unit.
+func pointDirection(title, x string) Direction {
+	lx := strings.ToLower(x)
+	switch {
+	case strings.Contains(lx, "ops/us"):
+		return HigherIsBetter
+	case strings.Contains(lx, "ns/op") || strings.Contains(lx, "cycles"):
+		return LowerIsBetter
+	case strings.Contains(lx, "%") || strings.Contains(lx, " b") || lx == "b":
+		return Informational
+	}
+	lt := strings.ToLower(title)
+	switch {
+	case strings.Contains(lt, "[ops/us]"):
+		return HigherIsBetter
+	case strings.Contains(lt, "[ns/op]") || strings.Contains(lt, "[cycles]"):
+		return LowerIsBetter
+	default:
+		return Informational
+	}
+}
+
+// TrendRow is one matched measurement across the two reports.
+type TrendRow struct {
+	Name      string
+	Old, New  float64
+	DeltaPct  float64 // (new-old)/old in percent; sign is raw, not goodness
+	Direction Direction
+	// Regression is true when the metric moved against its Direction by more
+	// than the threshold passed to DiffReports.
+	Regression bool
+}
+
+// TrendReport is the result of diffing two Reports.
+type TrendReport struct {
+	OldLabel, NewLabel string
+	ThresholdPct       float64
+	Rows               []TrendRow
+	// Unmatched counts points present in only one of the reports.
+	Unmatched int
+}
+
+func (tr *TrendReport) addPoint(name string, oldV, newV float64, dir Direction) {
+	row := TrendRow{Name: name, Old: oldV, New: newV, Direction: dir}
+	if oldV != 0 {
+		row.DeltaPct = (newV - oldV) / oldV * 100
+	} else if newV != 0 {
+		// From zero, any movement is infinite in percent; gate on direction.
+		row.DeltaPct = 100
+	}
+	switch dir {
+	case HigherIsBetter:
+		row.Regression = row.DeltaPct < -tr.ThresholdPct
+	case LowerIsBetter:
+		row.Regression = row.DeltaPct > tr.ThresholdPct
+	}
+	tr.Rows = append(tr.Rows, row)
+}
+
+// Regressions returns the rows that moved against their direction by more
+// than the threshold.
+func (tr *TrendReport) Regressions() []TrendRow {
+	var out []TrendRow
+	for _, r := range tr.Rows {
+		if r.Regression {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DiffReports matches every series point and benchmark of oldR and newR by
+// identity and computes per-point deltas. thresholdPct is the regression
+// gate in percent (e.g. 10 flags >10% moves against the metric's direction).
+func DiffReports(oldR, newR *Report, thresholdPct float64) *TrendReport {
+	tr := &TrendReport{
+		OldLabel:     oldR.Label,
+		NewLabel:     newR.Label,
+		ThresholdPct: thresholdPct,
+	}
+
+	// Index the old report's table points by title/label/x.
+	type key struct{ title, series, x string }
+	oldPoints := make(map[key]float64)
+	for _, t := range oldR.Tables {
+		for _, s := range t.Series {
+			for i, y := range s.Ys {
+				if i < len(t.Xs) {
+					oldPoints[key{t.Title, s.Label, t.Xs[i]}] = y
+				}
+			}
+		}
+	}
+	matched := make(map[key]bool)
+	for _, t := range newR.Tables {
+		for _, s := range t.Series {
+			for i, y := range s.Ys {
+				if i >= len(t.Xs) {
+					continue
+				}
+				k := key{t.Title, s.Label, t.Xs[i]}
+				oldY, ok := oldPoints[k]
+				if !ok {
+					tr.Unmatched++
+					continue
+				}
+				matched[k] = true
+				name := fmt.Sprintf("%s / %s @ %s", trimTitle(t.Title), s.Label, t.Xs[i])
+				tr.addPoint(name, oldY, y, pointDirection(t.Title, t.Xs[i]))
+			}
+		}
+	}
+	tr.Unmatched += len(oldPoints) - len(matched)
+
+	// Benchmarks match by name; each carries its unit in its fields.
+	oldBench := make(map[string]Benchmark)
+	for _, b := range oldR.Benchmarks {
+		oldBench[b.Name] = b
+	}
+	matchedBench := 0
+	for _, b := range newR.Benchmarks {
+		ob, ok := oldBench[b.Name]
+		if !ok {
+			tr.Unmatched++
+			continue
+		}
+		matchedBench++
+		switch {
+		case ob.NsPerOp != 0 && b.NsPerOp != 0:
+			tr.addPoint(b.Name+" [ns/op]", ob.NsPerOp, b.NsPerOp, LowerIsBetter)
+		case ob.OpsPerUs != 0 && b.OpsPerUs != 0:
+			tr.addPoint(b.Name+" [ops/us]", ob.OpsPerUs, b.OpsPerUs, HigherIsBetter)
+		default:
+			// Same name but no shared unit (one report records ns/op, the
+			// other ops/us): count it unmatched rather than letting the
+			// benchmark silently drop out of the gate.
+			tr.Unmatched++
+		}
+		if ob.AllocsPerOp != b.AllocsPerOp {
+			tr.addPoint(b.Name+" [allocs/op]", ob.AllocsPerOp, b.AllocsPerOp, LowerIsBetter)
+		}
+	}
+	tr.Unmatched += len(oldBench) - matchedBench
+	return tr
+}
+
+func trimTitle(t string) string {
+	if i := strings.IndexByte(t, ':'); i > 0 {
+		return t[:i]
+	}
+	return t
+}
+
+func dirMark(d Direction) string {
+	switch d {
+	case HigherIsBetter:
+		return "↑"
+	case LowerIsBetter:
+		return "↓"
+	default:
+		return " "
+	}
+}
+
+// Render formats the trend as an aligned table, regressions flagged, with a
+// one-line summary at the end.
+func (tr *TrendReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Bench trend: %s -> %s (gate: >%.0f%% against direction) ==\n",
+		tr.OldLabel, tr.NewLabel, tr.ThresholdPct)
+	nameW := len("series")
+	for _, r := range tr.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	// The direction mark is its own one-display-column field: the arrows are
+	// multi-byte UTF-8, so padding them with %-*s (byte widths) would skew
+	// the numeric columns.
+	fmt.Fprintf(&b, "%-*s %s  %12s  %12s  %9s\n", nameW, "series", " ", "old", "new", "delta")
+	for _, r := range tr.Rows {
+		flag := ""
+		if r.Regression {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-*s %s  %12.3f  %12.3f  %+8.1f%%%s\n",
+			nameW, r.Name, dirMark(r.Direction), r.Old, r.New, r.DeltaPct, flag)
+	}
+	regs := len(tr.Regressions())
+	fmt.Fprintf(&b, "%d matched points, %d unmatched, %d regression(s) beyond %.0f%%\n",
+		len(tr.Rows), tr.Unmatched, regs, tr.ThresholdPct)
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trendFixture() (*Report, *Report) {
+	oldR := &Report{Label: "old"}
+	oldR.AddTable(&Table{
+		Title: "Figure 1: Queue performance [ops/us]", XLabel: "threads",
+		Xs: []string{"1", "2"},
+		Series: []Series{
+			{Label: "HTM", Ys: []float64{4.0, 3.8}},
+			{Label: "MS", Ys: []float64{4.2, 3.9}},
+		},
+	})
+	oldR.AddTable(&Table{
+		Title: "Queue comparison at 8 threads", XLabel: "queue",
+		Xs: []string{"ops/us", "ns/op", "quiescent B"},
+		Series: []Series{
+			{Label: "HTM", Ys: []float64{3.9, 2050, 16}},
+		},
+	})
+	oldR.Benchmarks = []Benchmark{
+		{Name: "BenchmarkAllocFree/fastpath", NsPerOp: 200, AllocsPerOp: 0},
+		{Name: "BenchmarkOnlyInOld", NsPerOp: 1},
+	}
+
+	newR := &Report{Label: "new"}
+	newR.AddTable(&Table{
+		Title: "Figure 1: Queue performance [ops/us]", XLabel: "threads",
+		Xs: []string{"1", "2"},
+		Series: []Series{
+			{Label: "HTM", Ys: []float64{4.1, 3.0}}, // @2: -21% -> regression
+			{Label: "MS", Ys: []float64{4.3, 3.9}},
+		},
+	})
+	newR.AddTable(&Table{
+		Title: "Queue comparison at 8 threads", XLabel: "queue",
+		Xs: []string{"ops/us", "ns/op", "quiescent B"},
+		Series: []Series{
+			// ns/op up 50% -> regression; bytes up 10x -> informational
+			{Label: "HTM", Ys: []float64{4.0, 3075, 160}},
+		},
+	})
+	newR.Benchmarks = []Benchmark{
+		{Name: "BenchmarkAllocFree/fastpath", NsPerOp: 150, AllocsPerOp: 1},
+		{Name: "BenchmarkOnlyInNew", NsPerOp: 1},
+	}
+	return oldR, newR
+}
+
+func TestDiffReportsRegressionGate(t *testing.T) {
+	oldR, newR := trendFixture()
+	tr := DiffReports(oldR, newR, 10)
+
+	byName := make(map[string]TrendRow)
+	for _, r := range tr.Rows {
+		byName[r.Name] = r
+	}
+
+	reg := func(name string) TrendRow {
+		t.Helper()
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %q; have %v", name, tr.Rows)
+		}
+		return r
+	}
+
+	if r := reg("Figure 1 / HTM @ 2"); !r.Regression || r.Direction != HigherIsBetter {
+		t.Errorf("throughput drop of 21%% not flagged: %+v", r)
+	}
+	if r := reg("Figure 1 / HTM @ 1"); r.Regression {
+		t.Errorf("throughput gain flagged as regression: %+v", r)
+	}
+	if r := reg("Queue comparison at 8 threads / HTM @ ns/op"); !r.Regression || r.Direction != LowerIsBetter {
+		t.Errorf("ns/op increase of 50%% not flagged: %+v", r)
+	}
+	if r := reg("Queue comparison at 8 threads / HTM @ quiescent B"); r.Regression || r.Direction != Informational {
+		t.Errorf("bytes column must be informational: %+v", r)
+	}
+	if r := reg("BenchmarkAllocFree/fastpath [ns/op]"); r.Regression {
+		t.Errorf("25%% ns/op improvement flagged: %+v", r)
+	}
+	if r := reg("BenchmarkAllocFree/fastpath [allocs/op]"); !r.Regression {
+		t.Errorf("allocs/op going 0 -> 1 must gate: %+v", r)
+	}
+	if tr.Unmatched != 2 { // BenchmarkOnlyInOld + BenchmarkOnlyInNew
+		t.Errorf("Unmatched = %d, want 2", tr.Unmatched)
+	}
+	if got, want := len(tr.Regressions()), 3; got != want {
+		t.Errorf("Regressions() = %d rows, want %d", got, want)
+	}
+
+	out := tr.Render()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "3 regression(s)") {
+		t.Errorf("Render missing regression flags:\n%s", out)
+	}
+}
+
+func TestDiffReportsIdentical(t *testing.T) {
+	oldR, _ := trendFixture()
+	tr := DiffReports(oldR, oldR, 10)
+	if len(tr.Regressions()) != 0 {
+		t.Errorf("self-diff found regressions: %+v", tr.Regressions())
+	}
+	for _, r := range tr.Rows {
+		if r.DeltaPct != 0 {
+			t.Errorf("self-diff nonzero delta: %+v", r)
+		}
+	}
+}
+
+func TestTrendRoundTripThroughJSON(t *testing.T) {
+	oldR, newR := trendFixture()
+	dir := t.TempDir()
+	po, pn := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	if err := oldR.WriteJSONFile(po); err != nil {
+		t.Fatal(err)
+	}
+	if err := newR.WriteJSONFile(pn); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := ReadJSONFile(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := ReadJSONFile(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := DiffReports(oldR, newR, 10)
+	viaJSON := DiffReports(ro, rn, 10)
+	if len(direct.Rows) != len(viaJSON.Rows) || len(direct.Regressions()) != len(viaJSON.Regressions()) {
+		t.Errorf("JSON round trip changed the diff: %d/%d rows, %d/%d regressions",
+			len(direct.Rows), len(viaJSON.Rows), len(direct.Regressions()), len(viaJSON.Regressions()))
+	}
+}
+
+func TestPointDirection(t *testing.T) {
+	cases := []struct {
+		title, x string
+		want     Direction
+	}{
+		{"Figure 1: Queue performance [ops/us]", "8", HigherIsBetter},
+		{"Section 5.1: Update latency [ns/op]", "ns/op", LowerIsBetter},
+		{"Queue comparison", "ops/us", HigherIsBetter},
+		{"Queue comparison", "ns/op", LowerIsBetter},
+		{"Queue comparison", "ovhd%", Informational},
+		{"Queue comparison", "peak B", Informational},
+		{"Space: peak live heap [bytes]", "HTM queue", Informational},
+	}
+	for _, c := range cases {
+		if got := pointDirection(c.title, c.x); got != c.want {
+			t.Errorf("pointDirection(%q, %q) = %d, want %d", c.title, c.x, got, c.want)
+		}
+	}
+}
+
+func TestDiffReportsUnitMismatchCountsUnmatched(t *testing.T) {
+	oldR := &Report{Label: "old", Benchmarks: []Benchmark{{Name: "BenchmarkX", NsPerOp: 134}}}
+	newR := &Report{Label: "new", Benchmarks: []Benchmark{{Name: "BenchmarkX", OpsPerUs: 7.5}}}
+	tr := DiffReports(oldR, newR, 10)
+	if len(tr.Rows) != 0 {
+		t.Errorf("unit-mismatched benchmark produced rows: %+v", tr.Rows)
+	}
+	if tr.Unmatched != 1 {
+		t.Errorf("Unmatched = %d, want 1 (same name, no shared unit)", tr.Unmatched)
+	}
+}

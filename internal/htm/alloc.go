@@ -185,6 +185,16 @@ func (al *allocator) allocBigFrom(si, size int) Addr {
 
 // alloc returns a zeroed, allocated block of size words for th. It panics if
 // the arena is exhausted.
+//
+// One clock tick versions the whole block, and each word's free->allocated
+// transition is a single CAS on its metadata word. The fresh version (rather
+// than reusing the word's last one) is what closes the reallocation window:
+// any transaction that began before this tick and read the block's previous
+// life will see a version above its read timestamp on its next access to the
+// block, be forced to extend, and fail revalidation on the word it read
+// (whose metadata the free already rewrote). The word value is zeroed before
+// the allocated bit is published, so no reader can observe stale contents as
+// live memory.
 func (al *allocator) alloc(th *Thread, size int) Addr {
 	if size <= 0 {
 		panic("htm: alloc of non-positive size")
@@ -192,15 +202,21 @@ func (al *allocator) alloc(th *Thread, size int) Addr {
 	a := al.allocRaw(th, size)
 	h := al.h
 	h.words[a-1].Store(uint64(size)<<1 | headerAllocBit)
+	wv := h.clock.Add(1)
+	live := makeMeta(wv, true)
 	words := h.words[a : a+Addr(size)]
-	gens := h.gens[a : a+Addr(size)]
+	meta := h.meta[a : a+Addr(size)]
 	for i := range words {
-		g := gens[i].Load()
-		if g&1 == 1 {
-			panic(fmt.Sprintf("htm: allocator invariant violation: word %#x already allocated", uint32(a)+uint32(i)))
+		m := meta[i].Load()
+		if m&(metaAllocBit|metaLockBit) != 0 {
+			panic(fmt.Sprintf("htm: allocator invariant violation: word %#x already allocated or locked", uint32(a)+uint32(i)))
 		}
 		words[i].Store(0)
-		gens[i].Store(g + 1)
+		if !meta[i].CompareAndSwap(m, live) {
+			// Free words are never locked and never written by anyone but the
+			// allocator, which holds this block exclusively.
+			panic(fmt.Sprintf("htm: allocator invariant violation: free word %#x changed concurrently", uint32(a)+uint32(i)))
+		}
 	}
 	bump(&th.cell.allocCalls)
 	bumpBy(&th.cell.allocWords, uint64(size))
@@ -217,11 +233,11 @@ func (al *allocator) alloc(th *Thread, size int) Addr {
 }
 
 // free returns the block whose payload starts at a to th's magazine (or, for
-// oversized blocks, to th's home shard). Every payload word's allocation
-// generation is flipped to "free" and its ownership record's version is
-// bumped, so that any in-flight transaction that read the block aborts at its
-// next validation, and any later transactional access aborts immediately
-// (sandboxing).
+// oversized blocks, to th's home shard). Each payload word's allocated bit is
+// cleared and its version bumped in ONE CAS on the merged metadata word — the
+// version bump IS the generation flip of the old two-array design — so any
+// in-flight transaction that read the block aborts at its next validation,
+// and any later transactional access aborts immediately (sandboxing).
 func (al *allocator) free(th *Thread, a Addr) {
 	h := al.h
 	if !h.valid(a) {
@@ -233,25 +249,28 @@ func (al *allocator) free(th *Thread, a Addr) {
 	}
 	size := int(hdr >> 1)
 	h.words[a-1].Store(uint64(size) << 1)
-	// One clock tick versions the whole block. Ordering matters: every orec
-	// is locked and every generation flipped BEFORE the tick, so a
-	// transaction whose rv can accept version wv necessarily began after the
-	// flips and fails its access check — it can never pair a pre-free read
-	// with a post-reallocation read under one timestamp. (Ticking first
-	// would open exactly that window for read-only transactions, which skip
-	// commit validation.) Blocks are disjoint and commit never blocks on a
-	// held orec, so holding the whole block's locks cannot deadlock.
-	for w := a; w < a+Addr(size); w++ {
-		h.lockOrec(w)
-		g := h.gens[w].Load()
-		if g&1 == 0 {
-			panic(fmt.Sprintf("htm: free of already-free word %#x", uint32(w)))
-		}
-		h.gens[w].Store(g + 1)
-	}
+	// One clock tick versions the whole block. Unlike the old flip-before-
+	// release dance, the tick may precede the per-word transitions: a
+	// transaction that began after the tick (rv >= wv) can still read a
+	// not-yet-flipped word's pre-free value — that read is of then-live
+	// memory and linearizes before the free — but it can never pair it with
+	// post-reallocation state under one timestamp, because allocate stamps
+	// reused words with a version from a LATER tick, which forces an
+	// extension whose revalidation rereads the flipped word and aborts. A
+	// CAS that observes the lock bit (a commit's write-back, or an NT write)
+	// spins: commits never block on a held word, so this cannot deadlock.
 	wv := h.clock.Add(1)
+	dead := makeMeta(wv, false)
 	for w := a; w < a+Addr(size); w++ {
-		h.releaseOrec(w, wv)
+		for {
+			m := h.meta[w].Load()
+			if !metaAllocated(m) {
+				panic(fmt.Sprintf("htm: free of already-free word %#x", uint32(w)))
+			}
+			if !metaLocked(m) && h.meta[w].CompareAndSwap(m, dead) {
+				break
+			}
+		}
 	}
 	bump(&th.cell.freeCalls)
 	bumpBy(&th.cell.freeWords, uint64(size))

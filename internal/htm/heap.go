@@ -7,14 +7,44 @@ import (
 	"sync/atomic"
 )
 
-// orec encoding: bit 0 is the lock bit; the remaining 63 bits are the version
-// number, drawn from the heap's global clock.
-const orecLockBit uint64 = 1
+// Per-word metadata encoding. Each heap word carries ONE 64-bit metadata word
+// that fuses the versioned ownership record (orec) with the allocation state
+// that used to live in a separate generation array:
+//
+//	bit 0     lock bit (held during commit write-back and NT writes)
+//	bit 1     allocated bit (set while the word belongs to a live block)
+//	bits 2-63 version, drawn from the heap's global clock
+//
+// Folding both cells into one atomic word makes every transactional load's
+// entire validation predicate — unlocked, allocated, version ≤ rv — a single
+// atomic read whose three fields are mutually consistent by construction, and
+// makes every allocate/free transition a single CAS per word. Invariants:
+//
+//   - Only live words are ever locked (all lock paths check the allocated bit
+//     in the same word they CAS), so free words are always unlocked and the
+//     allocator can transition them without a lock handshake.
+//   - Every transition writes a fresh version from the global clock: commit
+//     write-back, NT writes, free, AND allocate. The version bump on free is
+//     the generation flip of the old design; the bump on allocate is what
+//     forces any transaction that read the block's previous life to revalidate
+//     (and fail) before it can observe the new one. See DESIGN.md "Per-word
+//     metadata" for the sandbox argument.
+const (
+	metaLockBit  uint64 = 1 << 0
+	metaAllocBit uint64 = 1 << 1
+	metaVerShift        = 2
+)
 
-func orecVersion(o uint64) uint64 { return o >> 1 }
-func orecLocked(o uint64) bool    { return o&orecLockBit != 0 }
-func makeOrec(version uint64) uint64 {
-	return version << 1
+func metaVersion(m uint64) uint64 { return m >> metaVerShift }
+func metaLocked(m uint64) bool    { return m&metaLockBit != 0 }
+func metaAllocated(m uint64) bool { return m&metaAllocBit != 0 }
+
+func makeMeta(version uint64, allocated bool) uint64 {
+	m := version << metaVerShift
+	if allocated {
+		m |= metaAllocBit
+	}
+	return m
 }
 
 // Heap is a simulated word-addressable memory with a built-in allocator and a
@@ -24,8 +54,7 @@ type Heap struct {
 	cfg Config
 
 	words []atomic.Uint64 // word values
-	orecs []atomic.Uint64 // per-word versioned locks
-	gens  []atomic.Uint32 // per-word allocation generation; odd = allocated
+	meta  []atomic.Uint64 // per-word metadata: lock | allocated | version
 
 	clock atomic.Uint64 // global version clock
 
@@ -57,8 +86,7 @@ func NewHeap(cfg Config) *Heap {
 	h := &Heap{
 		cfg:   cfg,
 		words: make([]atomic.Uint64, cfg.Words),
-		orecs: make([]atomic.Uint64, cfg.Words),
-		gens:  make([]atomic.Uint32, cfg.Words),
+		meta:  make([]atomic.Uint64, cfg.Words),
 	}
 	h.ntYieldThresh = yieldThreshold(cfg.YieldEvery)
 	h.alloc.init(h)
@@ -75,7 +103,7 @@ func (h *Heap) valid(a Addr) bool {
 
 // allocated reports whether the word at a is currently allocated.
 func (h *Heap) allocated(a Addr) bool {
-	return h.valid(a) && h.gens[a].Load()&1 == 1
+	return h.valid(a) && metaAllocated(h.meta[a].Load())
 }
 
 // yieldThreshold converts Config.YieldEvery into the compare threshold used
@@ -105,35 +133,42 @@ func (h *Heap) maybeYieldNT() {
 	}
 }
 
-func (h *Heap) checkNT(a Addr, op string) {
+func (h *Heap) checkNTAddr(a Addr, op string) {
 	if !h.valid(a) {
 		panic(fmt.Sprintf("htm: non-transactional %s through invalid address %#x (simulated segmentation fault)", op, uint32(a)))
 	}
-	if h.gens[a].Load()&1 == 0 {
-		panic(fmt.Sprintf("htm: non-transactional %s of freed word %#x (simulated segmentation fault)", op, uint32(a)))
-	}
 }
 
-// lockOrec spin-acquires the ownership record for a and returns the
-// pre-acquisition orec value.
-func (h *Heap) lockOrec(a Addr) uint64 {
+func ntFreedPanic(a Addr, op string) {
+	panic(fmt.Sprintf("htm: non-transactional %s of freed word %#x (simulated segmentation fault)", op, uint32(a)))
+}
+
+// lockMeta spin-acquires the metadata word for a and returns the
+// pre-acquisition value. The allocated check rides in the same CAS'd word, so
+// lock acquisition and the liveness check are one atomic step; it panics on
+// freed words (simulated segmentation fault: correct non-transactional code
+// never writes freed memory).
+func (h *Heap) lockMeta(a Addr, op string) uint64 {
 	for {
-		o := h.orecs[a].Load()
-		if !orecLocked(o) && h.orecs[a].CompareAndSwap(o, o|orecLockBit) {
-			return o
+		m := h.meta[a].Load()
+		if !metaAllocated(m) {
+			ntFreedPanic(a, op)
+		}
+		if !metaLocked(m) && h.meta[a].CompareAndSwap(m, m|metaLockBit) {
+			return m
 		}
 	}
 }
 
-// releaseOrec publishes a new version for a previously locked orec.
-func (h *Heap) releaseOrec(a Addr, version uint64) {
-	h.orecs[a].Store(makeOrec(version))
+// releaseMeta publishes a new version for a previously locked live word.
+func (h *Heap) releaseMeta(a Addr, version uint64) {
+	h.meta[a].Store(makeMeta(version, true))
 }
 
-// releaseOrecUnchanged unlocks an orec without changing its version, used
-// when a locked word was not actually modified.
-func (h *Heap) releaseOrecUnchanged(a Addr, prev uint64) {
-	h.orecs[a].Store(prev)
+// releaseMetaUnchanged unlocks a metadata word without changing its version,
+// used when a locked word was not actually modified.
+func (h *Heap) releaseMetaUnchanged(a Addr, prev uint64) {
+	h.meta[a].Store(prev)
 }
 
 // LoadNT performs a non-transactional (strongly atomic) load of the word at
@@ -141,14 +176,17 @@ func (h *Heap) releaseOrecUnchanged(a Addr, prev uint64) {
 // correct non-transactional code never touches freed memory.
 func (h *Heap) LoadNT(a Addr) uint64 {
 	h.maybeYieldNT()
-	h.checkNT(a, "load")
+	h.checkNTAddr(a, "load")
 	for {
-		o1 := h.orecs[a].Load()
-		if orecLocked(o1) {
+		m1 := h.meta[a].Load()
+		if metaLocked(m1) {
 			continue
 		}
+		if !metaAllocated(m1) {
+			ntFreedPanic(a, "load")
+		}
 		v := h.words[a].Load()
-		if h.orecs[a].Load() == o1 {
+		if h.meta[a].Load() == m1 {
 			return v
 		}
 	}
@@ -159,11 +197,11 @@ func (h *Heap) LoadNT(a Addr) uint64 {
 // and conflicts correctly with concurrent transactions.
 func (h *Heap) StoreNT(a Addr, v uint64) {
 	h.maybeYieldNT()
-	h.checkNT(a, "store")
-	h.lockOrec(a)
+	h.checkNTAddr(a, "store")
+	h.lockMeta(a, "store")
 	h.words[a].Store(v)
 	wv := h.clock.Add(1)
-	h.releaseOrec(a, wv)
+	h.releaseMeta(a, wv)
 }
 
 // CASNT performs a non-transactional compare-and-swap on the word at a,
@@ -171,15 +209,15 @@ func (h *Heap) StoreNT(a Addr, v uint64) {
 // used by the paper's non-HTM baseline algorithms.
 func (h *Heap) CASNT(a Addr, old, new uint64) bool {
 	h.maybeYieldNT()
-	h.checkNT(a, "cas")
-	prev := h.lockOrec(a)
+	h.checkNTAddr(a, "cas")
+	prev := h.lockMeta(a, "cas")
 	if h.words[a].Load() != old {
-		h.releaseOrecUnchanged(a, prev)
+		h.releaseMetaUnchanged(a, prev)
 		return false
 	}
 	h.words[a].Store(new)
 	wv := h.clock.Add(1)
-	h.releaseOrec(a, wv)
+	h.releaseMeta(a, wv)
 	return true
 }
 
@@ -187,12 +225,12 @@ func (h *Heap) CASNT(a Addr, old, new uint64) bool {
 // returns the new value.
 func (h *Heap) AddNT(a Addr, delta uint64) uint64 {
 	h.maybeYieldNT()
-	h.checkNT(a, "add")
-	h.lockOrec(a)
+	h.checkNTAddr(a, "add")
+	h.lockMeta(a, "add")
 	v := h.words[a].Load() + delta
 	h.words[a].Store(v)
 	wv := h.clock.Add(1)
-	h.releaseOrec(a, wv)
+	h.releaseMeta(a, wv)
 	return v
 }
 

@@ -259,6 +259,23 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	if n := testing.AllocsPerRun(200, runAlloc); n != 0 {
 		t.Errorf("Thread.Alloc/Free steady state allocates %.1f allocs/op, want 0", n)
 	}
+
+	// Read-only transactions run the dedup-bypass fast path (append-only read
+	// set, no filter maintenance); it too must be allocation-free once the
+	// read-set slice has grown.
+	runRO := func() {
+		th.Atomic(func(tx *Txn) {
+			var s uint64
+			for i := Addr(0); i < 64; i++ {
+				s += tx.Load(a + i)
+			}
+			_ = s
+		})
+	}
+	runRO() // warmup: grow the read set
+	if n := testing.AllocsPerRun(200, runRO); n != 0 {
+		t.Errorf("read-only bypass steady state allocates %.1f allocs/op, want 0", n)
+	}
 }
 
 // TestYieldThreshold pins the YieldEvery -> compare-threshold conversion,

@@ -19,17 +19,18 @@
 //     transactions monitor (paper §6).
 //
 // Internally the engine is a TL2/TinySTM-style software TM: a global version
-// clock, one versioned-lock ownership record per heap word, lazy write
-// buffering, commit-time locking, and incremental read-set revalidation with
-// timestamp extension so that transactions abort only on true word-level
-// conflicts — matching the conflict behaviour of a real HTM much more closely
-// than plain TL2 would.
+// clock, one metadata word per heap word fusing the versioned lock with the
+// allocation state, lazy write buffering, commit-time locking, and
+// incremental read-set revalidation with timestamp extension so that
+// transactions abort only on true word-level conflicts — matching the
+// conflict behaviour of a real HTM much more closely than plain TL2 would.
 //
-// Heap memory is an arena of 64-bit words addressed by Addr. The allocator
-// tracks a per-word allocation generation so that use-after-free is
-// detectable, which is what makes the paper's central claim ("a dequeue can
-// free its node to the operating system; racing transactions abort rather
-// than crash") observable inside a Go process.
+// Heap memory is an arena of 64-bit words addressed by Addr. Each word's
+// metadata carries an allocated bit whose transitions are version bumps, so
+// use-after-free is detectable by the same single-word check that validates
+// reads — which is what makes the paper's central claim ("a dequeue can free
+// its node to the operating system; racing transactions abort rather than
+// crash") observable inside a Go process. See DESIGN.md "Per-word metadata".
 package htm
 
 import (

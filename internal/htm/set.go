@@ -45,6 +45,9 @@ func (ix *setIndex) reset() {
 
 // lookup returns the set slot recorded for a, or -1.
 func (ix *setIndex) lookup(a Addr) int {
+	if len(ix.slots) == 0 {
+		return -1
+	}
 	mask := uint32(len(ix.slots) - 1)
 	for i := idxHash(a) & mask; ; i = (i + 1) & mask {
 		s := &ix.slots[i]

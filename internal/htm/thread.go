@@ -20,9 +20,6 @@ type Thread struct {
 	// cell is this thread's private statistics block; see stats.
 	cell *statCell
 
-	// prevOrecs is scratch space reused by commits.
-	prevOrecs []uint64
-
 	// Attempt outcome counters for this thread.
 	attempts uint64
 	commits  uint64
@@ -46,11 +43,18 @@ func (h *Heap) NewThread() *Thread {
 	th.txn.th = th
 	th.txn.h = h
 	th.txn.words = h.words
-	th.txn.orecs = h.orecs
-	th.txn.gens = h.gens
+	th.txn.meta = h.meta
 	th.txn.yieldThresh = h.ntYieldThresh // same conversion as NT accesses
 	th.txn.maxReadSet = h.cfg.MaxReadSet
 	th.txn.storeBufSize = h.cfg.StoreBufferSize
+	// Read-set dedup engages at half the capacity bound (pressure), so a
+	// bypass attempt can never abort for capacity that compaction would have
+	// recovered; bypassReadCap bounds duplicate growth when MaxReadSet is
+	// unbounded or enormous.
+	th.txn.dedupAfter = bypassReadCap
+	if mrs := h.cfg.MaxReadSet; mrs >= 0 && mrs/2 < bypassReadCap {
+		th.txn.dedupAfter = mrs / 2
+	}
 	return th
 }
 

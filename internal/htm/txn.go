@@ -16,14 +16,27 @@ type txnAbort struct{}
 
 var abortSentinel = &txnAbort{}
 
+// readEntry records one read: the address and the full metadata word observed
+// when the value was read (unlocked, allocated, version ≤ rv at that time).
+// Validation is a single load-and-compare against the live metadata: any
+// concurrent commit, free, or reallocation of the word rewrites the one word
+// the validator rereads.
 type readEntry struct {
 	addr Addr
-	ver  uint64
+	meta uint64
 }
 
+// writeEntry buffers one write: the address, the value, and the metadata
+// word observed when the store was buffered (lock bit cleared). Commit
+// acquisition CASes the live metadata from exactly this recorded word, so a
+// word that changed in ANY way since the store — a concurrent commit, an NT
+// write, a free, or a free-and-reallocation — fails acquisition and aborts.
+// Version monotonicity makes the recorded word unrepeatable, which is what
+// keeps a blind write from ever landing in a reused block's new life.
 type writeEntry struct {
 	addr Addr
 	val  uint64
+	meta uint64
 }
 
 // Txn is a transaction in progress. A Txn is valid only inside the function
@@ -52,18 +65,29 @@ type Txn struct {
 	// is bound to its thread: they save a pointer chase through t.h (and its
 	// cfg) on every transactional access.
 	words        []atomic.Uint64
-	orecs        []atomic.Uint64
-	gens         []atomic.Uint32
+	meta         []atomic.Uint64
 	yieldThresh  uint64 // rand() below this yields; 0 = never (see maybeYield)
 	maxReadSet   int
 	storeBufSize int
+	dedupAfter   int // read-set length at which dedup engages (see below)
 
-	// Read-set dedup state: rfilter is a 512-bit presence filter over read
-	// addresses (two hash bits per address). A load whose bits are clear is
-	// definitely new and appends without any lookup — the common case on
-	// scan-shaped transactions. When both bits are set the read is confirmed
-	// against rindex, built lazily from the read set on the first suspected
-	// repeat (rindexed tracks whether it is current for this attempt).
+	// Read-set dedup state. Attempts start in BYPASS mode: loads append to
+	// the read set without any duplicate tracking — duplicate entries are
+	// harmless for correctness (validation and commit re-check the same
+	// predicate once per entry, and all duplicates of one address provably
+	// hold identical metadata) and the common scan-shaped transaction has
+	// none, so it pays nothing per load. When the read set reaches
+	// dedupAfter entries (MaxReadSet pressure), engageDedup compacts the
+	// duplicates away and switches the attempt to FILTERED mode: rfilter is
+	// a 512-bit presence filter over read addresses (two hash bits per
+	// address); a load whose bits are clear is definitely new and appends
+	// without any lookup. When both bits are set the read is confirmed
+	// against rindex, built lazily on the first suspected repeat (rindexed
+	// tracks whether it is current for this attempt). This keeps the
+	// AbortCapacity guarantee of dedup — a transaction whose DISTINCT read
+	// set fits MaxReadSet never aborts for capacity — while removing the
+	// per-load filter cost from transactions that never near the bound.
+	dedup    bool
 	rfilter  [readFilterWords]uint64
 	rindexed bool
 	rindex   setIndex
@@ -77,6 +101,19 @@ type Txn struct {
 // readFilterWords sizes rfilter; 8 words = 512 bits keeps the false-positive
 // rate low for read sets up to a few hundred words.
 const readFilterWords = 8
+
+// readFilterBits maps an address to its filter word and two-bit mask (two
+// hash bits within one filter word: one load tests both, one store sets
+// both). Shared by Load's filtered path and engageDedup's rebuild.
+func readFilterBits(a Addr) (fw uint32, mask uint64) {
+	hb := idxHash(a)
+	return (hb >> 12) & (readFilterWords - 1), uint64(1)<<(hb&63) | uint64(1)<<((hb>>6)&63)
+}
+
+// bypassReadCap bounds how long an attempt may stay in read-set bypass mode
+// when MaxReadSet is unbounded (or enormous), so pathological repeat-heavy
+// bodies cannot grow the duplicated read set without limit.
+const bypassReadCap = 4096
 
 // findWrite returns the write-set slot holding a, or -1.
 func (t *Txn) findWrite(a Addr) int {
@@ -93,8 +130,8 @@ func (t *Txn) findWrite(a Addr) int {
 }
 
 // addWrite appends a new write entry, indexing it past the linear threshold.
-func (t *Txn) addWrite(a Addr, v uint64) {
-	t.writes = append(t.writes, writeEntry{addr: a, val: v})
+func (t *Txn) addWrite(a Addr, v, meta uint64) {
+	t.writes = append(t.writes, writeEntry{addr: a, val: v, meta: meta})
 	if n := len(t.writes); n > setLinearMax {
 		if n == setLinearMax+1 {
 			t.windex.reset()
@@ -120,6 +157,34 @@ func (t *Txn) confirmRead(a Addr) bool {
 	return t.rindex.lookup(a) >= 0
 }
 
+// engageDedup switches the attempt from bypass to filtered mode: the read set
+// accumulated so far is compacted in place — duplicates of one address are
+// guaranteed to hold identical metadata (a load that would record a different
+// metadata word first forces an extension that revalidates, and fails on, the
+// earlier entry) so dropping all but the first is exact — and the presence
+// filter and index are rebuilt over the survivors. Idempotent.
+func (t *Txn) engageDedup() {
+	if t.dedup || t.direct {
+		return
+	}
+	t.dedup = true
+	t.rfilter = [readFilterWords]uint64{}
+	t.rindex.reset()
+	kept := t.reads[:0]
+	for i := range t.reads {
+		r := t.reads[i]
+		if t.rindex.lookup(r.addr) >= 0 {
+			continue
+		}
+		t.rindex.insert(r.addr, len(kept))
+		kept = append(kept, r)
+		fw, m := readFilterBits(r.addr)
+		t.rfilter[fw] |= m
+	}
+	t.reads = kept
+	t.rindexed = true
+}
+
 func (t *Txn) abort(code AbortCode, a Addr) {
 	t.abortCode = code
 	t.abortAddr = a
@@ -139,7 +204,7 @@ func (t *Txn) Abort() {
 // the identical guard by hand because the combined check+call exceeds the
 // compiler's inlining budget — keep the three copies in sync.
 func (t *Txn) checkAccess(a Addr, op string) {
-	if a != NilAddr && int(a) < len(t.gens) && t.gens[a].Load()&1 == 1 {
+	if a != NilAddr && int(a) < len(t.meta) && metaAllocated(t.meta[a].Load()) {
 		return
 	}
 	t.accessFault(a, op)
@@ -152,14 +217,15 @@ func (t *Txn) accessFault(a Addr, op string) {
 	panic(fmt.Sprintf("htm: transactional %s of invalid or freed address %#x without sandboxing (simulated segmentation fault)", op, uint32(a)))
 }
 
-// validate checks that every read performed so far still holds the version
-// it held when read. Words locked by this transaction's own commit are
-// checked against their pre-lock versions by the caller.
+// validate checks that every read performed so far still holds the metadata
+// word it held when read — one atomic load and compare per entry; a lock, a
+// version bump, a free, or a reallocation all fail it. Words locked by this
+// transaction's own commit are checked against their pre-lock metadata by the
+// caller.
 func (t *Txn) validate() bool {
 	for i := range t.reads {
 		r := &t.reads[i]
-		o := t.orecs[r.addr].Load()
-		if orecLocked(o) || orecVersion(o) != r.ver {
+		if t.meta[r.addr].Load() != r.meta {
 			return false
 		}
 	}
@@ -210,63 +276,67 @@ func (t *Txn) Load(a Addr) uint64 {
 		return t.h.LoadNT(a)
 	}
 	t.maybeYield()
-	if a == NilAddr || int(a) >= len(t.gens) {
+	if a == NilAddr || int(a) >= len(t.meta) {
 		t.accessFault(a, "load")
 	}
 	if i := t.findWrite(a); i >= 0 {
 		// Read-own-write still faults at the access if the word was freed
 		// since the store — same semantics as Store and the loop below.
-		if t.gens[a].Load()&1 == 0 {
+		if !metaAllocated(t.meta[a].Load()) {
 			t.accessFault(a, "load")
 		}
 		return t.writes[i].val
 	}
 	for spins := 0; ; spins++ {
-		o1 := t.orecs[a].Load()
-		if orecLocked(o1) {
-			if spins < 64 {
-				continue // writer is in its (short) commit write-back
+		// The entire validation predicate — unlocked, allocated, version — is
+		// one atomic load: its fields are mutually consistent by construction.
+		// free() rewrites this same word, so m1 carrying the allocated bit
+		// plus an unchanged metadata word below proves the value is a read of
+		// then-live memory.
+		m1 := t.meta[a].Load()
+		if m1&(metaLockBit|metaAllocBit) != metaAllocBit {
+			if metaLocked(m1) {
+				if spins < 64 {
+					continue // writer is in its (short) commit write-back
+				}
+				t.abort(AbortConflict, a)
 			}
-			t.abort(AbortConflict, a)
-		}
-		// The allocation-generation check sits between the orec read and the
-		// value read: free() flips the generation before releasing the orec,
-		// so gens-odd here plus an unchanged orec below proves the value is a
-		// read of then-live memory. A pre-loop-only check would race with a
-		// free completing in between and hand freed memory to a read-only
-		// transaction that never validates.
-		if t.gens[a].Load()&1 == 0 {
 			t.accessFault(a, "load")
 		}
 		v := t.words[a].Load()
-		if t.orecs[a].Load() != o1 {
+		if t.meta[a].Load() != m1 {
 			continue
 		}
-		if orecVersion(o1) > t.rv {
+		if metaVersion(m1) > t.rv {
 			t.extend()
 			// The word may have changed again between the value read and the
 			// extension; re-read under the new timestamp.
-			if t.orecs[a].Load() != o1 {
+			if t.meta[a].Load() != m1 {
 				continue
 			}
+		}
+		if !t.dedup {
+			// Bypass mode: append without duplicate tracking (see the dedup
+			// field) until MaxReadSet pressure forces compaction.
+			if len(t.reads) < t.dedupAfter {
+				t.reads = append(t.reads, readEntry{addr: a, meta: m1})
+				return v
+			}
+			t.engageDedup()
 		}
 		// Repeated reads do not grow the read set: the entry recorded by the
 		// first read still guards this word (any later write to it carries a
 		// version above rv and the extension above would have aborted), so a
 		// duplicate would only inflate validate() and burn MaxReadSet
 		// capacity the distinct working set never used.
-		// Two hash bits within one filter word: one load tests both, one
-		// store sets both.
-		hb := idxHash(a)
-		fw := (hb >> 12) & (readFilterWords - 1)
-		m := uint64(1)<<(hb&63) | uint64(1)<<((hb>>6)&63)
+		fw, m := readFilterBits(a)
 		if t.rfilter[fw]&m == m && t.confirmRead(a) {
 			return v
 		}
 		if t.maxReadSet >= 0 && len(t.reads) >= t.maxReadSet {
 			t.abort(AbortCapacity, a)
 		}
-		t.reads = append(t.reads, readEntry{addr: a, ver: orecVersion(o1)})
+		t.reads = append(t.reads, readEntry{addr: a, meta: m1})
 		t.rfilter[fw] |= m
 		if t.rindexed {
 			t.rindex.insert(a, len(t.reads)-1)
@@ -286,7 +356,11 @@ func (t *Txn) Store(a Addr, v uint64) {
 		return
 	}
 	t.maybeYield()
-	if a == NilAddr || int(a) >= len(t.gens) || t.gens[a].Load()&1 == 0 {
+	if a == NilAddr || int(a) >= len(t.meta) {
+		t.accessFault(a, "store")
+	}
+	m := t.meta[a].Load()
+	if !metaAllocated(m) {
 		t.accessFault(a, "store")
 	}
 	if i := t.findWrite(a); i >= 0 {
@@ -296,7 +370,10 @@ func (t *Txn) Store(a Addr, v uint64) {
 	if t.storeBufSize >= 0 && len(t.writes) >= t.storeBufSize {
 		t.abort(AbortOverflow, a)
 	}
-	t.addWrite(a, v)
+	// Record the metadata with the lock bit cleared: a word locked right now
+	// is mid-commit elsewhere, and its release will bump the version, so our
+	// commit's CAS from this recorded word correctly fails as a conflict.
+	t.addWrite(a, v, m&^metaLockBit)
 }
 
 // Add transactionally adds delta to the word at a and returns the new value.
@@ -369,62 +446,66 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		}
 	}
 
-	// Acquire ownership of the write set; on any failure release what was
-	// taken and abort.
+	// Acquire ownership of the write set: one CAS per word, from exactly the
+	// metadata recorded when the store was buffered to that word locked. The
+	// CAS doubles as full validation of the written word — a concurrent
+	// commit, an NT write, a free, or a free-and-reallocation all rewrote
+	// the metadata since then (versions only grow, so a recorded word can
+	// never recur), and each fails the acquisition. In particular a blind
+	// write can never land in a reused block's new life, and a freed word is
+	// never locked (which is what lets the allocator transition free words
+	// with a bare CAS instead of a lock handshake).
 	acquired := 0
-	prev := t.th.prevOrecs[:0]
 	fail := func(code AbortCode, a Addr) (AbortCode, Addr) {
 		for i := 0; i < acquired; i++ {
-			h.releaseOrecUnchanged(t.writes[i].addr, prev[i])
+			h.releaseMetaUnchanged(t.writes[i].addr, t.writes[i].meta)
 		}
-		t.th.prevOrecs = prev
 		if tle {
 			h.activeCommits.Add(^uint64(0))
 		}
 		return code, a
 	}
 	for i := range t.writes {
-		a := t.writes[i].addr
-		o := h.orecs[a].Load()
-		if orecLocked(o) || !h.orecs[a].CompareAndSwap(o, o|orecLockBit) {
-			return fail(AbortConflict, a)
-		}
-		prev = append(prev, o)
-		acquired++
-		if h.gens[a].Load()&1 == 0 {
-			// The word was freed between our access and commit.
-			if h.cfg.Sandboxed {
-				return fail(AbortIllegal, a)
+		w := &t.writes[i]
+		if !h.meta[w.addr].CompareAndSwap(w.meta, w.meta|metaLockBit) {
+			if cur := h.meta[w.addr].Load(); !metaAllocated(cur) && !metaLocked(cur) {
+				// The word was freed — and not yet reused — since our store.
+				// (A freed-and-reused word aborts as a conflict above, which
+				// is equally safe: nothing was locked or written.)
+				if h.cfg.Sandboxed {
+					return fail(AbortIllegal, w.addr)
+				}
+				fail(AbortIllegal, w.addr)
+				panic(fmt.Sprintf("htm: commit to freed word %#x without sandboxing", uint32(w.addr)))
 			}
-			fail(AbortIllegal, a)
-			panic(fmt.Sprintf("htm: commit to freed word %#x without sandboxing", uint32(a)))
+			return fail(AbortConflict, w.addr)
 		}
+		acquired++
 	}
-	t.th.prevOrecs = prev
 
 	wv := h.clock.Add(1)
 
 	// Validate the read set. Words we hold locked for writing are validated
-	// against their pre-lock versions.
+	// against their pre-lock (recorded) metadata.
 	for i := range t.reads {
 		r := &t.reads[i]
-		o := h.orecs[r.addr].Load()
-		if orecLocked(o) {
-			if j := t.findWrite(r.addr); j >= 0 && orecVersion(prev[j]) == r.ver {
+		o := h.meta[r.addr].Load()
+		if o == r.meta {
+			continue
+		}
+		if metaLocked(o) {
+			if j := t.findWrite(r.addr); j >= 0 && t.writes[j].meta == r.meta {
 				continue
 			}
-			return fail(AbortConflict, r.addr)
 		}
-		if orecVersion(o) != r.ver {
-			return fail(AbortConflict, r.addr)
-		}
+		return fail(AbortConflict, r.addr)
 	}
 
 	for i := range t.writes {
 		h.words[t.writes[i].addr].Store(t.writes[i].val)
 	}
 	for i := range t.writes {
-		h.releaseOrec(t.writes[i].addr, wv)
+		h.releaseMeta(t.writes[i].addr, wv)
 	}
 	if tle {
 		h.activeCommits.Add(^uint64(0))
@@ -448,14 +529,25 @@ func (t *Txn) reset() {
 	t.direct = false
 	t.rv = 0
 	t.fbSeq = 0
-	t.rfilter = [readFilterWords]uint64{}
+	if t.dedup {
+		// The filter carries bits only when the previous attempt engaged
+		// dedup; bypass attempts never touch it, so read-only transactions
+		// skip the 64-byte clear too.
+		t.rfilter = [readFilterWords]uint64{}
+		t.dedup = false
+	}
 	t.rindexed = false
 }
 
 // ReadSetSize and WriteSetSize report the current footprint of the attempt;
 // useful for tests and for algorithms that adapt transaction size.
-// ReadSetSize counts distinct words read (repeat reads are deduplicated).
-func (t *Txn) ReadSetSize() int { return len(t.reads) }
+// ReadSetSize counts distinct words read: it compacts any bypass-mode
+// duplicates first (engaging dedup for the rest of the attempt), so repeat
+// reads are never counted.
+func (t *Txn) ReadSetSize() int {
+	t.engageDedup()
+	return len(t.reads)
+}
 
 // WriteSetSize reports the number of distinct words buffered for writing.
 func (t *Txn) WriteSetSize() int { return len(t.writes) }

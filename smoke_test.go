@@ -7,6 +7,7 @@ package repro
 import (
 	"context"
 	"os/exec"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -15,6 +16,8 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every demo binary")
 	}
+	tmp := t.TempDir()
+	collectJSON := filepath.Join(tmp, "collect.json")
 	cases := []struct {
 		pkg  string
 		args []string
@@ -24,8 +27,10 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		{"./examples/adaptive", nil},
 		{"./examples/reclamation", nil},
 		{"./cmd/queuebench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
-		{"./cmd/collectbench", []string{"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3"}},
+		{"./cmd/collectbench", []string{"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3", "-json", collectJSON}},
 		{"./cmd/experiments", []string{"-quick", "-duration", "10ms"}},
+		// Self-diff of the committed snapshot: must exit 0 (no regressions).
+		{"./cmd/benchtrend", []string{"BENCH_PR4.json", "BENCH_PR4.json"}},
 	}
 	for _, tc := range cases {
 		tc := tc
