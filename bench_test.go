@@ -266,6 +266,9 @@ func BenchmarkAblationTLE(b *testing.B) {
 	b.Run("overflows/tle-fallback", func(b *testing.B) {
 		run(b, htm.Config{Words: 1 << 16, EnableTLE: true, MaxRetries: 1}, htm.RockStoreBufferSize+8)
 	})
+	b.Run("overflows/tle-fallback-global", func(b *testing.B) {
+		run(b, htm.Config{Words: 1 << 16, EnableTLE: true, MaxRetries: 1, GlobalFallback: true}, htm.RockStoreBufferSize+8)
+	})
 }
 
 // BenchmarkAblationAllocInTxn compares the paper's pre-allocate-outside

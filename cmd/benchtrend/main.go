@@ -6,11 +6,24 @@
 // if any throughput-direction metric moved against its direction by more
 // than the threshold (default 10%).
 //
+// With -fail-shrunk the exit status is also nonzero when the NEW report's
+// coverage shrank — any series point or benchmark present in OLD but missing
+// from NEW. A benchmark silently dropped from a snapshot must not read as
+// "no regressions"; use this mode when the new report is supposed to be a
+// superset of the old one (e.g. consecutive committed BENCH_<PR>.json
+// snapshots).
+//
+// -coverage-only gates on shrunken coverage ALONE: deltas are still printed,
+// but regressions never affect the exit status. Use it to compare snapshots
+// measured on different hosts or days, where coverage is the only
+// deterministic property.
+//
 // Usage:
 //
-//	benchtrend [-threshold 10] OLD.json NEW.json
+//	benchtrend [-threshold 10] [-fail-shrunk] [-coverage-only] OLD.json NEW.json
 //
-// Exit status: 0 = no regressions, 1 = regressions beyond the threshold,
+// Exit status: 0 = gate passed, 1 = regressions beyond the threshold (unless
+// -coverage-only) or shrunken coverage (with -fail-shrunk or -coverage-only),
 // 2 = usage or I/O error.
 package main
 
@@ -28,8 +41,10 @@ func main() {
 
 func run() int {
 	threshold := flag.Float64("threshold", 10, "regression gate in percent")
+	failShrunk := flag.Bool("fail-shrunk", false, "also fail when NEW lacks points OLD had (shrunken series coverage)")
+	coverageOnly := flag.Bool("coverage-only", false, "gate on shrunken coverage alone; regressions are printed but never fail")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtrend [-threshold pct] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtrend [-threshold pct] [-fail-shrunk] [-coverage-only] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,8 +68,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "benchtrend: no matching points between %s and %s\n", flag.Arg(0), flag.Arg(1))
 		return 2
 	}
-	if len(tr.Regressions()) > 0 {
-		return 1
+	code := 0
+	if len(tr.Regressions()) > 0 && !*coverageOnly {
+		code = 1
 	}
-	return 0
+	if (*failShrunk || *coverageOnly) && tr.MissingInNew > 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: coverage shrank: %d point(s) in %s are missing from %s\n",
+			tr.MissingInNew, flag.Arg(0), flag.Arg(1))
+		code = 1
+	}
+	return code
 }

@@ -64,8 +64,29 @@ type TrendReport struct {
 	OldLabel, NewLabel string
 	ThresholdPct       float64
 	Rows               []TrendRow
-	// Unmatched counts points present in only one of the reports.
+	// Unmatched counts points present in only one of the reports
+	// (MissingInNew + AddedInNew).
 	Unmatched int
+	// MissingInNew counts points the old report had that the new one lacks —
+	// shrunken coverage. A series silently dropped from a snapshot would
+	// otherwise read as "no regressions"; callers that gate on trends should
+	// treat MissingInNew > 0 as a failure (benchtrend -fail-shrunk does).
+	MissingInNew int
+	// AddedInNew counts points only the new report has — grown coverage,
+	// never a failure.
+	AddedInNew int
+}
+
+// noteMissing records n points of shrunken coverage.
+func (tr *TrendReport) noteMissing(n int) {
+	tr.MissingInNew += n
+	tr.Unmatched += n
+}
+
+// noteAdded records n points of new coverage.
+func (tr *TrendReport) noteAdded(n int) {
+	tr.AddedInNew += n
+	tr.Unmatched += n
 }
 
 func (tr *TrendReport) addPoint(name string, oldV, newV float64, dir Direction) {
@@ -129,7 +150,7 @@ func DiffReports(oldR, newR *Report, thresholdPct float64) *TrendReport {
 				k := key{t.Title, s.Label, t.Xs[i]}
 				oldY, ok := oldPoints[k]
 				if !ok {
-					tr.Unmatched++
+					tr.noteAdded(1)
 					continue
 				}
 				matched[k] = true
@@ -138,7 +159,7 @@ func DiffReports(oldR, newR *Report, thresholdPct float64) *TrendReport {
 			}
 		}
 	}
-	tr.Unmatched += len(oldPoints) - len(matched)
+	tr.noteMissing(len(oldPoints) - len(matched))
 
 	// Benchmarks match by name; each carries its unit in its fields.
 	oldBench := make(map[string]Benchmark)
@@ -149,7 +170,7 @@ func DiffReports(oldR, newR *Report, thresholdPct float64) *TrendReport {
 	for _, b := range newR.Benchmarks {
 		ob, ok := oldBench[b.Name]
 		if !ok {
-			tr.Unmatched++
+			tr.noteAdded(1)
 			continue
 		}
 		matchedBench++
@@ -160,15 +181,16 @@ func DiffReports(oldR, newR *Report, thresholdPct float64) *TrendReport {
 			tr.addPoint(b.Name+" [ops/us]", ob.OpsPerUs, b.OpsPerUs, HigherIsBetter)
 		default:
 			// Same name but no shared unit (one report records ns/op, the
-			// other ops/us): count it unmatched rather than letting the
-			// benchmark silently drop out of the gate.
-			tr.Unmatched++
+			// other ops/us): the old measurement effectively vanished from
+			// the new report, so it counts as shrunken coverage rather than
+			// silently dropping out of the gate.
+			tr.noteMissing(1)
 		}
 		if ob.AllocsPerOp != b.AllocsPerOp {
 			tr.addPoint(b.Name+" [allocs/op]", ob.AllocsPerOp, b.AllocsPerOp, LowerIsBetter)
 		}
 	}
-	tr.Unmatched += len(oldBench) - matchedBench
+	tr.noteMissing(len(oldBench) - matchedBench)
 	return tr
 }
 
@@ -215,7 +237,7 @@ func (tr *TrendReport) Render() string {
 			nameW, r.Name, dirMark(r.Direction), r.Old, r.New, r.DeltaPct, flag)
 	}
 	regs := len(tr.Regressions())
-	fmt.Fprintf(&b, "%d matched points, %d unmatched, %d regression(s) beyond %.0f%%\n",
-		len(tr.Rows), tr.Unmatched, regs, tr.ThresholdPct)
+	fmt.Fprintf(&b, "%d matched points, %d unmatched (%d missing from %s, %d new), %d regression(s) beyond %.0f%%\n",
+		len(tr.Rows), tr.Unmatched, tr.MissingInNew, tr.NewLabel, tr.AddedInNew, regs, tr.ThresholdPct)
 	return b.String()
 }

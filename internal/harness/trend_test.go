@@ -91,6 +91,12 @@ func TestDiffReportsRegressionGate(t *testing.T) {
 	if tr.Unmatched != 2 { // BenchmarkOnlyInOld + BenchmarkOnlyInNew
 		t.Errorf("Unmatched = %d, want 2", tr.Unmatched)
 	}
+	if tr.MissingInNew != 1 { // BenchmarkOnlyInOld vanished: shrunken coverage
+		t.Errorf("MissingInNew = %d, want 1", tr.MissingInNew)
+	}
+	if tr.AddedInNew != 1 { // BenchmarkOnlyInNew: growth, never a failure
+		t.Errorf("AddedInNew = %d, want 1", tr.AddedInNew)
+	}
 	if got, want := len(tr.Regressions()), 3; got != want {
 		t.Errorf("Regressions() = %d rows, want %d", got, want)
 	}
@@ -169,5 +175,55 @@ func TestDiffReportsUnitMismatchCountsUnmatched(t *testing.T) {
 	}
 	if tr.Unmatched != 1 {
 		t.Errorf("Unmatched = %d, want 1 (same name, no shared unit)", tr.Unmatched)
+	}
+	if tr.MissingInNew != 1 {
+		t.Errorf("MissingInNew = %d, want 1: the old unit's measurement vanished", tr.MissingInNew)
+	}
+}
+
+// TestDiffReportsShrunkenCoverage drops one whole series and one table column
+// from the new report: every lost point must be counted as missing, not
+// silently shrunk to a smaller intersection.
+func TestDiffReportsShrunkenCoverage(t *testing.T) {
+	oldR, _ := trendFixture()
+	newR := &Report{Label: "new"}
+	newR.AddTable(&Table{
+		Title: "Figure 1: Queue performance [ops/us]", XLabel: "threads",
+		Xs: []string{"1"}, // the @2 column vanished
+		Series: []Series{
+			{Label: "HTM", Ys: []float64{4.0}}, // the MS series vanished
+		},
+	})
+	newR.Benchmarks = []Benchmark{
+		{Name: "BenchmarkAllocFree/fastpath", NsPerOp: 200, AllocsPerOp: 0},
+		{Name: "BenchmarkOnlyInOld", NsPerOp: 1},
+	}
+	tr := DiffReports(oldR, newR, 10)
+	// Lost: Figure 1 HTM@2, MS@1, MS@2, and the whole second table's three
+	// points (ops/us, ns/op, quiescent B for HTM) = 6 table points.
+	if tr.MissingInNew != 6 {
+		t.Errorf("MissingInNew = %d, want 6; report: %+v", tr.MissingInNew, tr)
+	}
+	if tr.AddedInNew != 0 {
+		t.Errorf("AddedInNew = %d, want 0", tr.AddedInNew)
+	}
+	if len(tr.Regressions()) != 0 {
+		t.Errorf("unchanged surviving points flagged as regressions: %+v", tr.Regressions())
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "6 missing from new") {
+		t.Errorf("Render does not surface the shrunken coverage:\n%s", out)
+	}
+
+	// A superset new report shrinks nothing.
+	oldR2, newR2 := trendFixture()
+	newR2.AddTable(&Table{Title: "Extra", Xs: []string{"x"},
+		Series: []Series{{Label: "S", Ys: []float64{1}}}})
+	tr2 := DiffReports(oldR2, newR2, 10)
+	if tr2.MissingInNew != 1 { // only BenchmarkOnlyInOld, as in the base fixture
+		t.Errorf("superset diff MissingInNew = %d, want 1", tr2.MissingInNew)
+	}
+	if tr2.AddedInNew != 2 { // the extra table point + BenchmarkOnlyInNew
+		t.Errorf("superset diff AddedInNew = %d, want 2", tr2.AddedInNew)
 	}
 }

@@ -262,13 +262,33 @@ func (al *allocator) free(th *Thread, a Addr) {
 	wv := h.clock.Add(1)
 	dead := makeMeta(wv, false)
 	for w := a; w < a+Addr(size); w++ {
-		for {
+		for spins := 0; ; spins++ {
 			m := h.meta[w].Load()
 			if !metaAllocated(m) {
 				panic(fmt.Sprintf("htm: free of already-free word %#x", uint32(w)))
 			}
 			if !metaLocked(m) && h.meta[w].CompareAndSwap(m, dead) {
 				break
+			}
+			// Held by a commit write-back (short) or a fallback lock-set
+			// (potentially long); yield rather than burn the core. Two cases
+			// must panic instead of waiting: our own fallback's lock would be
+			// waited on forever, and ANY fallback's lock, if this thread is
+			// itself inside a fallback holding locks, closes a cross-thread
+			// cycle the ordered-acquisition protocol cannot see (free() waits
+			// outside it). Both are a fallback body calling Thread.Free
+			// directly; it must use Txn.FreeOnCommit, which runs after the
+			// lock-set is released.
+			if metaFallbackLocked(m) {
+				if metaFallbackOwner(m) == th.id&fallbackOwnerMask {
+					panic(fmt.Sprintf("htm: free of %#x inside a fallback operation holding word %#x locked (self-deadlock); use Txn.FreeOnCommit", uint32(a), uint32(w)))
+				}
+				if th.inTxn && th.txn.direct && len(th.txn.locks) > 0 {
+					panic(fmt.Sprintf("htm: free of %#x inside a fallback operation while word %#x is fallback-locked by another thread (deadlock risk); use Txn.FreeOnCommit", uint32(a), uint32(w)))
+				}
+			}
+			if spins&63 == 63 {
+				runtime.Gosched()
 			}
 		}
 	}

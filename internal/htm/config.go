@@ -12,6 +12,20 @@ const (
 	defaultMaxReadSet = 1 << 16
 )
 
+// FallbackOwnerBits is the width of the owner thread ID recorded in a word's
+// metadata while the fine-grained TLE fallback holds its lock. The merged
+// metadata word spends bit 0 on the lock, bit 1 on the allocated flag and the
+// top bit on the fallback tag, leaving 61 bits of version field to carry the
+// owner while the word is held (the displaced version is preserved in the
+// owner's lock-set). Thread IDs are masked to this width; IDs are assigned
+// sequentially, so two live threads collide only after 2^61 NewThread calls.
+// The owner ID exists for self-deadlock detection and debuggability — no
+// correctness decision reads it.
+const FallbackOwnerBits = 61
+
+// fallbackOwnerMask truncates a thread ID to the owner field's width.
+const fallbackOwnerMask = 1<<FallbackOwnerBits - 1
+
 // Config parameterizes a simulated Heap and its transaction engine. The zero
 // value selects Rock-like defaults via NewHeap.
 type Config struct {
@@ -53,9 +67,35 @@ type Config struct {
 	MaxRetries int
 
 	// EnableTLE enables the transactional-lock-elision fallback described in
-	// paper §6: after MaxRetries failed attempts the operation runs under a
-	// global lock that every transaction monitors.
+	// paper §6: after MaxRetries failed attempts the operation completes on
+	// a pessimistic software path instead of retrying forever. By default
+	// that path acquires the per-word metadata locks of exactly the words it
+	// touches (fine-grained fallback), so fallback operations with disjoint
+	// footprints — and hardware transactions on unrelated words — proceed
+	// concurrently. Set GlobalFallback to restore the paper's single global
+	// fallback lock.
 	EnableTLE bool
+
+	// GlobalFallback selects the §6 global-lock fallback the paper describes
+	// (and this repository shipped through PR 4): the fallback operation
+	// takes one process-wide lock, every hardware transaction waits out the
+	// critical section at begin and validates the lock's sequence number at
+	// commit. It serializes all fallback operations and stalls all hardware
+	// commits for the duration, but is the faithful Rock-era baseline; keep
+	// it available for comparison benchmarks. Only meaningful with EnableTLE.
+	GlobalFallback bool
+
+	// DedupBypass caps how many (possibly duplicated) read entries a
+	// transaction attempt may append before read-set deduplication engages
+	// (see Txn's dedup field). Larger values keep repeat-heavy transactions
+	// on the zero-bookkeeping bypass path longer at the cost of more
+	// duplicate entries to compact; smaller values engage the 512-bit filter
+	// earlier. 0 selects the default (4096); negative engages dedup from the
+	// first read (the PR 3 behaviour). Whatever the value, the effective
+	// threshold never exceeds MaxReadSet/2, which is what preserves the
+	// guarantee that a transaction whose distinct read set fits MaxReadSet
+	// never aborts with AbortCapacity.
+	DedupBypass int
 
 	// NoMaxLive disables exact high-water tracking, removing the last
 	// globally shared counters from the allocation fast path. Stats then
@@ -100,4 +140,20 @@ func (c Config) withDefaults() Config {
 	c.Sandboxed = !c.NoSandbox
 	c.trackMaxLive = !c.NoMaxLive
 	return c
+}
+
+// dedupBypassThreshold resolves the DedupBypass knob against MaxReadSet: the
+// read-set length at which an attempt switches from bypass to filtered mode.
+func (c Config) dedupBypassThreshold() int {
+	cap := bypassReadCap
+	switch {
+	case c.DedupBypass > 0:
+		cap = c.DedupBypass
+	case c.DedupBypass < 0:
+		cap = 0
+	}
+	if mrs := c.MaxReadSet; mrs >= 0 && mrs/2 < cap {
+		return mrs / 2
+	}
+	return cap
 }

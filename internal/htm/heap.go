@@ -33,11 +33,43 @@ const (
 	metaLockBit  uint64 = 1 << 0
 	metaAllocBit uint64 = 1 << 1
 	metaVerShift        = 2
+
+	// metaFBTagBit marks a word locked by the fine-grained TLE fallback
+	// (thread.go). While a fallback operation holds a word, the version field
+	// carries the owner's thread ID instead of a version — the pre-lock word
+	// is preserved in the owner's lock-set and the release writes either that
+	// word back (read-locked) or a fresh version (written), so no version
+	// information is lost and version monotonicity is preserved. The tag sits
+	// in the version field's top bit: the global clock ticks once per
+	// committed write/alloc/free transition, so a real version can never
+	// reach 2^61. The tag lets a contending fallback distinguish a long-held
+	// fallback lock (apply the deadlock-avoidance protocol) from a commit
+	// write-back (always short: commits never wait while holding locks, so
+	// spinning is safe), and makes the owner readable in a debugger.
+	metaFBTagBit uint64 = 1 << 63
 )
 
 func metaVersion(m uint64) uint64 { return m >> metaVerShift }
 func metaLocked(m uint64) bool    { return m&metaLockBit != 0 }
 func metaAllocated(m uint64) bool { return m&metaAllocBit != 0 }
+
+// makeFallbackMeta builds the metadata word for a fallback-locked live word:
+// locked, allocated, fallback-tagged, owner ID in the version field.
+func makeFallbackMeta(owner uint64) uint64 {
+	return metaFBTagBit | owner<<metaVerShift&^metaFBTagBit | metaAllocBit | metaLockBit
+}
+
+// metaFallbackLocked reports whether m is held by a fallback lock-set (as
+// opposed to a commit write-back or NT operation, which hold the bare lock
+// bit for a bounded burst).
+func metaFallbackLocked(m uint64) bool {
+	return m&(metaFBTagBit|metaLockBit) == metaFBTagBit|metaLockBit
+}
+
+// metaFallbackOwner extracts the owner thread ID from a fallback-locked word.
+func metaFallbackOwner(m uint64) uint64 {
+	return m &^ (metaFBTagBit | metaAllocBit | metaLockBit) >> metaVerShift
+}
 
 func makeMeta(version uint64, allocated bool) uint64 {
 	m := version << metaVerShift
@@ -58,10 +90,14 @@ type Heap struct {
 
 	clock atomic.Uint64 // global version clock
 
-	// TLE fallback lock: fallbackSeq is even when free and odd while held;
-	// transactions snapshot it at begin and validate it at commit.
-	// activeCommits counts write transactions currently in their commit
-	// write-back, so a fallback acquirer can wait them out.
+	// Global TLE fallback lock, used only with Config.GlobalFallback (the
+	// PR-4-era compatibility mode): fallbackSeq is even when free and odd
+	// while held; transactions snapshot it at begin and validate it at
+	// commit. activeCommits counts write transactions currently in their
+	// commit write-back, so a fallback acquirer can wait them out. The
+	// default fine-grained fallback acquires per-word metadata locks instead
+	// (see thread.go) and never touches these fields, so hardware-path
+	// transactions never wait at begin.
 	fallbackSeq   atomic.Uint64
 	fallbackMu    sync.Mutex
 	activeCommits atomic.Uint64
@@ -147,15 +183,21 @@ func ntFreedPanic(a Addr, op string) {
 // pre-acquisition value. The allocated check rides in the same CAS'd word, so
 // lock acquisition and the liveness check are one atomic step; it panics on
 // freed words (simulated segmentation fault: correct non-transactional code
-// never writes freed memory).
+// never writes freed memory). A held lock is either a commit write-back
+// (short) or a fallback lock-set hold (potentially long — the owner may be
+// descheduled mid-operation), so the loop yields periodically instead of
+// burning the core.
 func (h *Heap) lockMeta(a Addr, op string) uint64 {
-	for {
+	for spins := 0; ; spins++ {
 		m := h.meta[a].Load()
 		if !metaAllocated(m) {
 			ntFreedPanic(a, op)
 		}
 		if !metaLocked(m) && h.meta[a].CompareAndSwap(m, m|metaLockBit) {
 			return m
+		}
+		if spins&63 == 63 {
+			runtime.Gosched()
 		}
 	}
 }
@@ -177,9 +219,12 @@ func (h *Heap) releaseMetaUnchanged(a Addr, prev uint64) {
 func (h *Heap) LoadNT(a Addr) uint64 {
 	h.maybeYieldNT()
 	h.checkNTAddr(a, "load")
-	for {
+	for spins := 0; ; spins++ {
 		m1 := h.meta[a].Load()
 		if metaLocked(m1) {
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
 			continue
 		}
 		if !metaAllocated(m1) {

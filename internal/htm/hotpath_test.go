@@ -47,6 +47,74 @@ func TestReadSetDedupLargeSet(t *testing.T) {
 	})
 }
 
+// TestDedupBypassThreshold pins the resolution of the Config.DedupBypass knob
+// against MaxReadSet: the configured cap wins until it would exceed
+// MaxReadSet/2, the bound that keeps the AbortCapacity guarantee intact.
+func TestDedupBypassThreshold(t *testing.T) {
+	cases := []struct {
+		knob, maxReadSet, want int
+	}{
+		{0, 0, bypassReadCap},               // all defaults (MaxReadSet 1<<16)
+		{0, 1000, 500},                      // MaxReadSet/2 below the cap
+		{256, 0, 256},                       // explicit cap
+		{1 << 20, 0, defaultMaxReadSet / 2}, // clamped to MaxReadSet/2
+		{-1, 0, 0},                          // dedup from the first read
+		{0, -1, bypassReadCap},              // unbounded reads: cap still bounds
+		{1 << 20, -1, 1 << 20},              // unbounded reads: knob taken as-is
+	}
+	for _, c := range cases {
+		h := NewHeap(Config{Words: 1 << 10, DedupBypass: c.knob, MaxReadSet: c.maxReadSet})
+		th := h.NewThread()
+		if got := th.txn.dedupAfter; got != c.want {
+			t.Errorf("DedupBypass=%d MaxReadSet=%d: dedupAfter = %d, want %d",
+				c.knob, c.maxReadSet, got, c.want)
+		}
+	}
+}
+
+// TestDedupBypassDisabledStillDedups: with the bypass disabled (negative
+// knob) every attempt runs in filtered mode from its first read — the PR 3
+// behaviour — and repeated loads still collapse to one entry each.
+func TestDedupBypassDisabledStillDedups(t *testing.T) {
+	h := newTestHeap(t, Config{MaxReadSet: 4, DedupBypass: -1})
+	th := h.NewThread()
+	a := th.Alloc(4)
+	err := th.TryAtomic(func(tx *Txn) {
+		for rep := 0; rep < 100; rep++ {
+			for i := Addr(0); i < 4; i++ {
+				tx.Load(a + i)
+			}
+		}
+		if tx.ReadSetSize() != 4 {
+			t.Errorf("ReadSetSize = %d, want 4", tx.ReadSetSize())
+		}
+	})
+	if err != nil {
+		t.Fatalf("distinct read set of 4 within MaxReadSet=4 aborted: %v", err)
+	}
+}
+
+// TestDedupBypassSmallCap drives an attempt across a small configured bypass
+// cap mid-transaction: the compaction must engage at the cap and the distinct
+// working set must stay within capacity.
+func TestDedupBypassSmallCap(t *testing.T) {
+	h := newTestHeap(t, Config{MaxReadSet: 64, DedupBypass: 8})
+	th := h.NewThread()
+	a := th.Alloc(4)
+	th.Atomic(func(tx *Txn) {
+		// 4 distinct words x 50 repeats = 200 loads; the bypass holds the
+		// first 8 entries (with duplicates), then compaction engages.
+		for rep := 0; rep < 50; rep++ {
+			for i := Addr(0); i < 4; i++ {
+				tx.Load(a + i)
+			}
+		}
+		if tx.ReadSetSize() != 4 {
+			t.Errorf("ReadSetSize = %d, want 4", tx.ReadSetSize())
+		}
+	})
+}
+
 // TestReadSetCapacityStillEnforced checks that dedup did not weaken the
 // capacity bound for genuinely distinct reads.
 func TestReadSetCapacityStillEnforced(t *testing.T) {

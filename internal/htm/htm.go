@@ -15,8 +15,12 @@
 //     (Heap.LoadNT, Heap.StoreNT, Heap.CASNT) interoperate correctly with
 //     concurrent transactions.
 //   - Transactional lock elision (TLE) fallback: optionally, a transaction
-//     that fails repeatedly is executed under a global fallback lock that all
-//     transactions monitor (paper §6).
+//     that fails repeatedly is executed on a pessimistic software path. By
+//     default that path acquires the per-word metadata locks of exactly the
+//     words it touches, so disjoint fallback operations and unrelated
+//     hardware transactions proceed concurrently; Config.GlobalFallback
+//     restores the paper's single global fallback lock that all transactions
+//     monitor (§6).
 //
 // Internally the engine is a TL2/TinySTM-style software TM: a global version
 // clock, one metadata word per heap word fusing the versioned lock with the
@@ -62,8 +66,12 @@ const (
 	AbortIllegal
 	// AbortExplicit indicates the transaction called Txn.Abort.
 	AbortExplicit
-	// AbortFallback indicates the transaction observed the TLE fallback lock
-	// held (or acquired during its execution) and must wait.
+	// AbortFallback indicates the transaction observed the global TLE
+	// fallback lock held (or acquired during its execution) and must wait.
+	// Produced only in Config.GlobalFallback compatibility mode: the default
+	// fine-grained fallback holds per-word metadata locks, so a transaction
+	// that collides with it aborts with AbortConflict on the contended word,
+	// and transactions on disjoint words are unaffected.
 	AbortFallback
 	// AbortCapacity indicates the transaction exceeded the configured read
 	// set capacity (Config.MaxReadSet).

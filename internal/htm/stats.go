@@ -15,15 +15,17 @@ const numAbortCodes = int(AbortCapacity) + 1
 // memory never false-share. The fields are atomics only so that Heap.Stats
 // may read them while threads run.
 type statCell struct {
-	starts       atomic.Uint64
-	commits      atomic.Uint64
-	aborts       [numAbortCodes]atomic.Uint64
-	fallbackRuns atomic.Uint64
-	allocCalls   atomic.Uint64
-	freeCalls    atomic.Uint64
-	allocWords   atomic.Uint64
-	freeWords    atomic.Uint64
-	_            [16]byte // pads the 14 counters (112 B) to 128 B
+	starts          atomic.Uint64
+	commits         atomic.Uint64
+	aborts          [numAbortCodes]atomic.Uint64
+	fallbackRuns    atomic.Uint64
+	fallbackLocks   atomic.Uint64
+	fallbackRetries atomic.Uint64
+	allocCalls      atomic.Uint64
+	freeCalls       atomic.Uint64
+	allocWords      atomic.Uint64
+	freeWords       atomic.Uint64
+	// 16 counters (128 B) fill two cache lines exactly; no tail pad needed.
 }
 
 // stats is the heap-internal statistics block: a registry of per-thread
@@ -86,8 +88,17 @@ type Stats struct {
 	Commits uint64
 	// Aborts counts failed attempts by reason.
 	Aborts map[AbortCode]uint64
-	// FallbackRuns is the number of operations executed under the TLE lock.
+	// FallbackRuns is the number of operations completed on the TLE fallback
+	// path (fine-grained lock-set or, with Config.GlobalFallback, the global
+	// lock).
 	FallbackRuns uint64
+	// FallbackLocks counts per-word metadata lock acquisitions by the
+	// fine-grained fallback (0 in GlobalFallback mode).
+	FallbackLocks uint64
+	// FallbackRetries counts fine-grained fallback attempts that released
+	// their whole lock-set and re-ran the operation body — the
+	// deadlock-avoidance release-and-retry path.
+	FallbackRetries uint64
 	// AllocCalls and FreeCalls count allocator operations.
 	AllocCalls, FreeCalls uint64
 	// LiveWords is the number of currently allocated payload words;
@@ -132,8 +143,9 @@ func (s Stats) String() string {
 			first = false
 		}
 	}
-	fmt.Fprintf(&b, ") fallback=%d alloc=%d free=%d live=%dw maxLive=%dw",
-		s.FallbackRuns, s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords)
+	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d alloc=%d free=%d live=%dw maxLive=%dw",
+		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries,
+		s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords)
 	return b.String()
 }
 
@@ -147,6 +159,8 @@ func (h *Heap) Stats() Stats {
 		s.Starts += c.starts.Load()
 		s.Commits += c.commits.Load()
 		s.FallbackRuns += c.fallbackRuns.Load()
+		s.FallbackLocks += c.fallbackLocks.Load()
+		s.FallbackRetries += c.fallbackRetries.Load()
 		s.AllocCalls += c.allocCalls.Load()
 		s.FreeCalls += c.freeCalls.Load()
 		for code := 1; code < numAbortCodes; code++ {

@@ -47,14 +47,12 @@ func (h *Heap) NewThread() *Thread {
 	th.txn.yieldThresh = h.ntYieldThresh // same conversion as NT accesses
 	th.txn.maxReadSet = h.cfg.MaxReadSet
 	th.txn.storeBufSize = h.cfg.StoreBufferSize
-	// Read-set dedup engages at half the capacity bound (pressure), so a
-	// bypass attempt can never abort for capacity that compaction would have
-	// recovered; bypassReadCap bounds duplicate growth when MaxReadSet is
-	// unbounded or enormous.
-	th.txn.dedupAfter = bypassReadCap
-	if mrs := h.cfg.MaxReadSet; mrs >= 0 && mrs/2 < bypassReadCap {
-		th.txn.dedupAfter = mrs / 2
-	}
+	// Read-set dedup engages at the configured bypass threshold, never above
+	// half the capacity bound, so a bypass attempt can never abort for
+	// capacity that compaction would have recovered (see Config.DedupBypass).
+	th.txn.dedupAfter = h.cfg.dedupBypassThreshold()
+	th.txn.fbOwner = id & fallbackOwnerMask
+	th.txn.globalFB = h.cfg.EnableTLE && h.cfg.GlobalFallback
 	return th
 }
 
@@ -110,19 +108,24 @@ func (th *Thread) backoff(attempt int) {
 //go:noinline
 func spinHint() {}
 
-// begin initializes the reusable transaction descriptor for an attempt,
-// waiting out any active TLE fallback critical section first.
+// begin initializes the reusable transaction descriptor for an attempt. Only
+// the GlobalFallback compatibility mode waits out an active fallback critical
+// section here; under the default fine-grained fallback a transaction begins
+// unconditionally — a concurrent fallback is visible to it purely as locked
+// metadata words, exactly like any other conflicting writer.
 func (th *Thread) begin() *Txn {
 	t := &th.txn
 	t.reset()
 	h := th.h
-	for {
-		seq := h.fallbackSeq.Load()
-		if seq&1 == 0 {
-			t.fbSeq = seq
-			break
+	if t.globalFB {
+		for {
+			seq := h.fallbackSeq.Load()
+			if seq&1 == 0 {
+				t.fbSeq = seq
+				break
+			}
+			runtime.Gosched()
 		}
-		runtime.Gosched()
 	}
 	t.rv = h.clock.Load()
 	th.attempts++
@@ -178,9 +181,11 @@ func (th *Thread) tryAtomic(f func(*Txn)) (code AbortCode, addr Addr, ok bool) {
 
 // Atomic executes f atomically, retrying with exponential backoff until it
 // commits. If the heap enables TLE and an attempt fails MaxRetries times, f
-// runs under the global fallback lock (paper §6). Without TLE, a transaction
-// that deterministically overflows the store buffer panics rather than
-// retrying forever.
+// runs on the pessimistic fallback path: by default a fine-grained software
+// transaction that locks the per-word metadata of exactly the words it
+// touches, or — with Config.GlobalFallback — under the paper's single global
+// lock (§6). Without TLE, a transaction that deterministically overflows the
+// store buffer panics rather than retrying forever.
 func (th *Thread) Atomic(f func(*Txn)) {
 	for attempt := 0; ; attempt++ {
 		code, addr, ok := th.tryAtomic(f)
@@ -201,9 +206,63 @@ func (th *Thread) Atomic(f func(*Txn)) {
 	}
 }
 
-// runFallback executes f under the global fallback lock with direct (non
-// buffered) memory access, mutually exclusive with all transaction commits.
+// runFallback executes f on the TLE fallback path. The default is a
+// pessimistic software transaction over the per-word metadata locks: every
+// word f loads or stores is lock-acquired on first touch (with the thread's
+// owner ID recorded in the held word), stores are buffered, and the commit
+// writes them back under the locks and releases the whole set with one
+// version tick. Fallback operations with disjoint footprints — and hardware
+// transactions on words the fallback does not hold — run concurrently; a
+// lock-order conflict with another fallback releases everything and retries
+// with jittered backoff (see fbAcquire for the deadlock-avoidance argument).
 func (th *Thread) runFallback(f func(*Txn)) {
+	if th.txn.globalFB {
+		th.runGlobalFallback(f)
+		return
+	}
+	t := &th.txn
+	th.inTxn = true
+	defer func() { th.inTxn = false }()
+	for attempt := 0; ; attempt++ {
+		t.reset()
+		t.direct = true
+		if th.fallbackAttempt(f) {
+			t.commit() // write-back, release lock-set, run deferred frees
+			bump(&th.cell.fallbackRuns)
+			return
+		}
+		bump(&th.cell.fallbackRetries)
+		th.backoff(attempt)
+	}
+}
+
+// fallbackAttempt runs one execution of f over the fallback lock-set and
+// reports whether it completed. An abortSentinel panic — an out-of-order
+// lock conflict, or the body calling Txn.Abort — releases the lock-set
+// (restoring every displaced metadata word; buffered stores were never
+// applied), rolls back in-body allocations and asks the caller to retry. Any
+// other panic (including the simulated segfault for a freed-word access,
+// which the fallback, like all direct access, never sandboxes) releases the
+// locks and propagates.
+func (th *Thread) fallbackAttempt(f func(*Txn)) (done bool) {
+	t := &th.txn
+	defer func() {
+		if r := recover(); r != nil {
+			t.fbRelease(0)
+			t.rollbackAllocs()
+			if r != abortSentinel {
+				panic(r)
+			}
+		}
+	}()
+	f(t)
+	return true
+}
+
+// runGlobalFallback is the Config.GlobalFallback compatibility path: f runs
+// under the process-wide fallback lock with direct (unbuffered) memory
+// access, mutually exclusive with all transaction commits (paper §6).
+func (th *Thread) runGlobalFallback(f func(*Txn)) {
 	h := th.h
 	h.fallbackMu.Lock()
 	defer h.fallbackMu.Unlock()

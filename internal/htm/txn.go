@@ -39,6 +39,16 @@ type writeEntry struct {
 	meta uint64
 }
 
+// lockEntry records one word held by a fine-grained fallback operation: the
+// address, the metadata word displaced by the lock acquisition (restored
+// verbatim if the word is released unwritten), and whether the operation
+// buffered a store to it (released with a fresh version instead).
+type lockEntry struct {
+	addr    Addr
+	prev    uint64
+	written bool
+}
+
 // Txn is a transaction in progress. A Txn is valid only inside the function
 // passed to Thread.Atomic or Thread.TryAtomic, and only on that goroutine.
 //
@@ -54,7 +64,7 @@ type Txn struct {
 	writes []writeEntry
 	frees  []Addr // to free after commit
 	allocs []Addr // allocated inside the txn; rolled back on abort
-	direct bool   // executing under the TLE fallback lock
+	direct bool   // executing on the TLE fallback path
 
 	// abortCode/abortAddr carry the failure reason of an in-body abort while
 	// the abortSentinel panic unwinds to the retry loop.
@@ -96,6 +106,20 @@ type Txn struct {
 	// keeping read-own-writes lookups O(1). It is rebuilt from scratch when
 	// the set crosses the threshold, so reset() does not need to touch it.
 	windex setIndex
+
+	// Fine-grained fallback state (see thread.go runFallback). locks is the
+	// lock-set: every word this fallback operation holds, with its displaced
+	// metadata. lindex indexes it past setLinearMax, exactly as windex does
+	// the write set. fbMax is the highest address currently held — the
+	// ordered-acquisition watermark the deadlock-avoidance protocol compares
+	// against. fbOwner is the thread ID masked to FallbackOwnerBits, recorded
+	// in each held word's metadata. globalFB caches EnableTLE&&GlobalFallback:
+	// only then do begin/extend/commit monitor the global fallback sequence.
+	locks    []lockEntry
+	lindex   setIndex
+	fbMax    Addr
+	fbOwner  uint64
+	globalFB bool
 }
 
 // readFilterWords sizes rfilter; 8 words = 512 bits keeps the false-positive
@@ -143,6 +167,154 @@ func (t *Txn) addWrite(a Addr, v, meta uint64) {
 		}
 	}
 }
+
+// findLock returns the lock-set slot holding a, or -1. Same shape as
+// findWrite: linear scan up to setLinearMax, indexed lookup above.
+func (t *Txn) findLock(a Addr) int {
+	l := t.locks
+	if len(l) <= setLinearMax {
+		for i := range l {
+			if l[i].addr == a {
+				return i
+			}
+		}
+		return -1
+	}
+	return t.lindex.lookup(a)
+}
+
+// addLock appends a newly acquired word to the lock-set, indexing it past the
+// linear threshold, and returns its slot.
+func (t *Txn) addLock(a Addr, prev uint64) int {
+	t.locks = append(t.locks, lockEntry{addr: a, prev: prev})
+	n := len(t.locks)
+	if n > setLinearMax {
+		if n == setLinearMax+1 {
+			t.lindex.reset()
+			for i := range t.locks {
+				t.lindex.insert(t.locks[i].addr, i)
+			}
+		} else {
+			t.lindex.insert(a, n-1)
+		}
+	}
+	if a > t.fbMax {
+		t.fbMax = a
+	}
+	return n - 1
+}
+
+// fbOrderedSpins bounds how long a fallback operation try-locks a word BELOW
+// its acquisition watermark before releasing everything and retrying. Waiting
+// on a word above every held address follows the global address order and
+// cannot deadlock, so in-order waits are unbounded; out-of-order waits are
+// where cycles form, so they are bounded.
+const fbOrderedSpins = 128
+
+// fbAcquire takes the fine-grained fallback lock on a's metadata word and
+// returns its lock-set slot (immediately, if already held). Deadlock
+// avoidance is ordered try-lock with bounded backoff: acquiring above the
+// watermark may wait indefinitely (address order is a global total order, so
+// such waits cannot cycle; hardware commits and NT operations never wait
+// while holding locks and are waited out unconditionally), while acquiring
+// below it try-locks fbOrderedSpins times and then aborts the attempt — the
+// runFallback loop releases the entire lock-set, backs off with jitter, and
+// re-runs the body. The owner ID recorded in the held word lets a contending
+// fallback see who holds it in a debugger and turns a same-thread re-lock —
+// impossible unless the lock-set invariant broke — into a loud panic instead
+// of a silent self-deadlock.
+func (t *Txn) fbAcquire(a Addr, op string) int {
+	if i := t.findLock(a); i >= 0 {
+		return i
+	}
+	locked := makeFallbackMeta(t.fbOwner)
+	for spins := 0; ; spins++ {
+		m := t.meta[a].Load()
+		switch {
+		case !metaLocked(m):
+			if !metaAllocated(m) {
+				t.accessFault(a, op)
+			}
+			if t.meta[a].CompareAndSwap(m, locked) {
+				bump(&t.th.cell.fallbackLocks)
+				return t.addLock(a, m)
+			}
+		case metaFallbackLocked(m):
+			if metaFallbackOwner(m) == t.fbOwner {
+				panic(fmt.Sprintf("htm: fallback self-deadlock: word %#x is locked by this thread but missing from its lock-set", uint32(a)))
+			}
+			// Held by another fallback operation, potentially for long.
+			if len(t.locks) > 0 && a < t.fbMax && spins >= fbOrderedSpins {
+				t.abort(AbortConflict, a) // release-and-retry (runFallback)
+			}
+			runtime.Gosched()
+		default:
+			// Commit write-back or NT operation: short by construction
+			// (neither ever waits while holding word locks), so spin it out.
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// fbLoad is Txn.Load on the fine-grained fallback path: lock the word, then
+// read it directly — the lock excludes every writer (commits and NT writes
+// take the same metadata lock), so no read-set entry or validation is needed.
+func (t *Txn) fbLoad(a Addr) uint64 {
+	t.maybeYield()
+	if a == NilAddr || int(a) >= len(t.meta) {
+		t.accessFault(a, "load")
+	}
+	if i := t.findWrite(a); i >= 0 {
+		return t.writes[i].val
+	}
+	t.fbAcquire(a, "load")
+	return t.words[a].Load()
+}
+
+// fbStore is Txn.Store on the fine-grained fallback path: lock the word and
+// buffer the write. Buffering (rather than writing in place) is what makes
+// the deadlock-avoidance release-and-retry safe: an attempt that drops its
+// lock-set has published nothing. The store buffer bound does not apply —
+// the fallback exists precisely to complete bodies that overflow it.
+func (t *Txn) fbStore(a Addr, v uint64) {
+	t.maybeYield()
+	if a == NilAddr || int(a) >= len(t.meta) {
+		t.accessFault(a, "store")
+	}
+	if i := t.findWrite(a); i >= 0 {
+		t.writes[i].val = v
+		return
+	}
+	li := t.fbAcquire(a, "store")
+	t.locks[li].written = true
+	t.addWrite(a, v, 0) // metadata slot unused: release stores, not CASes
+}
+
+// fbRelease releases the whole lock-set: written words take a fresh live
+// metadata word at version wv (the caller has already stored their values),
+// read-locked words get their displaced metadata back verbatim (no
+// observable transition). Pass wv=0 on abort/retry paths — buffered writes
+// were never applied, so every word restores to its pre-lock state.
+func (t *Txn) fbRelease(wv uint64) {
+	for i := range t.locks {
+		l := &t.locks[i]
+		if l.written && wv != 0 {
+			t.meta[l.addr].Store(makeMeta(wv, true))
+		} else {
+			t.meta[l.addr].Store(l.prev)
+		}
+	}
+	t.locks = t.locks[:0]
+	t.fbMax = 0
+}
+
+// InFallback reports whether this attempt is executing on the TLE fallback
+// path (fine-grained lock-set or global lock) rather than as a hardware
+// transaction attempt. Bodies can use it to adapt — e.g. tests that must
+// synchronize only once the fallback engaged.
+func (t *Txn) InFallback() bool { return t.direct }
 
 // confirmRead reports whether a is in the read set, building the exact index
 // on the first suspected repeat of this attempt.
@@ -237,10 +409,13 @@ func (t *Txn) validate() bool {
 // the engine HTM-like conflict behaviour: transactions abort only when a word
 // they actually read or wrote is modified concurrently.
 func (t *Txn) extend() {
-	// A timestamp extension across a TLE fallback acquisition could mix
-	// pre- and post-critical-section state; abort instead, exactly as a
-	// hardware transaction holding the lock word in its read set would.
-	if t.h.fallbackSeq.Load() != t.fbSeq {
+	// GlobalFallback compatibility mode only: a timestamp extension across a
+	// global-lock fallback acquisition could mix pre- and post-critical-
+	// section state; abort instead, exactly as a hardware transaction holding
+	// the lock word in its read set would. The fine-grained fallback needs no
+	// check here — a fallback that touched any word this transaction read
+	// rewrote that word's metadata, so validate() below catches it.
+	if t.globalFB && t.h.fallbackSeq.Load() != t.fbSeq {
 		t.abort(AbortFallback, NilAddr)
 	}
 	now := t.h.clock.Load()
@@ -272,6 +447,9 @@ func (t *Txn) yieldSlow() {
 // Load transactionally reads the word at a.
 func (t *Txn) Load(a Addr) uint64 {
 	if t.direct {
+		if !t.globalFB {
+			return t.fbLoad(a)
+		}
 		t.checkAccess(a, "load")
 		return t.h.LoadNT(a)
 	}
@@ -351,6 +529,10 @@ func (t *Txn) Load(a Addr) uint64 {
 // bounded transactions.
 func (t *Txn) Store(a Addr, v uint64) {
 	if t.direct {
+		if !t.globalFB {
+			t.fbStore(a, v)
+			return
+		}
 		t.checkAccess(a, "store")
 		t.h.StoreNT(a, v)
 		return
@@ -402,9 +584,11 @@ func (t *Txn) Alloc(size int) Addr {
 		panic("htm: Txn.Alloc requires Config.AllowAllocInTxn (Rock cannot allocate inside transactions; pre-allocate outside, as the paper's algorithms do)")
 	}
 	a := t.th.Alloc(size)
-	if !t.direct {
-		t.allocs = append(t.allocs, a)
-	}
+	// Tracked even on the fallback path: a fine-grained fallback attempt can
+	// release-and-retry (deadlock avoidance), which must roll its allocations
+	// back exactly as an aborted hardware attempt does. Committed attempts
+	// clear the list without freeing.
+	t.allocs = append(t.allocs, a)
 	return a
 }
 
@@ -423,7 +607,25 @@ func (t *Txn) rollbackAllocs() {
 func (t *Txn) commit() (AbortCode, Addr) {
 	h := t.h
 	if t.direct {
+		if !t.globalFB {
+			// Fine-grained fallback: write the buffered stores back under the
+			// held locks, then release every word — written words with one
+			// fresh version tick shared by the whole operation (exactly as a
+			// hardware commit versions its write set), read-locked words by
+			// restoring their displaced metadata. Frees run only after the
+			// release: a block being freed may contain held words, and free()
+			// waits out word locks.
+			if len(t.writes) > 0 {
+				for i := range t.writes {
+					h.words[t.writes[i].addr].Store(t.writes[i].val)
+				}
+				t.fbRelease(h.clock.Add(1))
+			} else {
+				t.fbRelease(0)
+			}
+		}
 		t.runFrees()
+		t.allocs = t.allocs[:0] // committed: the body keeps its allocations
 		return 0, NilAddr
 	}
 	if len(t.writes) == 0 {
@@ -434,10 +636,12 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		t.runFrees()
 		return 0, NilAddr
 	}
-	// Guard against the TLE fallback lock: commits may not overlap a
-	// fallback critical section. Without TLE no fallback can ever run, so
-	// the shared activeCommits fence is skipped entirely.
-	tle := h.cfg.EnableTLE
+	// GlobalFallback compatibility mode only: commits may not overlap a
+	// global-lock fallback critical section. The fine-grained fallback needs
+	// no fence — it holds the metadata locks of the words it touches, so a
+	// conflicting commit simply fails its acquisition CAS below, and a
+	// disjoint commit proceeds concurrently.
+	tle := t.globalFB
 	if tle {
 		h.activeCommits.Add(1)
 		if h.fallbackSeq.Load() != t.fbSeq {
@@ -526,6 +730,8 @@ func (t *Txn) reset() {
 	t.writes = t.writes[:0]
 	t.frees = t.frees[:0]
 	t.allocs = t.allocs[:0]
+	t.locks = t.locks[:0]
+	t.fbMax = 0
 	t.direct = false
 	t.rv = 0
 	t.fbSeq = 0

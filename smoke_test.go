@@ -27,10 +27,17 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		{"./examples/adaptive", nil},
 		{"./examples/reclamation", nil},
 		{"./cmd/queuebench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
+		{"./cmd/fallbackbench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
 		{"./cmd/collectbench", []string{"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3", "-json", collectJSON}},
 		{"./cmd/experiments", []string{"-quick", "-duration", "10ms"}},
-		// Self-diff of the committed snapshot: must exit 0 (no regressions).
-		{"./cmd/benchtrend", []string{"BENCH_PR4.json", "BENCH_PR4.json"}},
+		// Self-diff of the committed snapshot: must exit 0 (no regressions,
+		// no shrunken coverage).
+		{"./cmd/benchtrend", []string{"-fail-shrunk", "BENCH_PR5.json", "BENCH_PR5.json"}},
+		// Consecutive committed snapshots: PR5 must cover every series PR4
+		// recorded. -coverage-only ignores the per-point deltas — the two
+		// snapshots were measured on different days, so only coverage is a
+		// deterministic, comparable property.
+		{"./cmd/benchtrend", []string{"-coverage-only", "BENCH_PR4.json", "BENCH_PR5.json"}},
 	}
 	for _, tc := range cases {
 		tc := tc
