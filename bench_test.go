@@ -15,11 +15,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/htm"
 	"repro/internal/core"
 	"repro/internal/cycles"
 	"repro/internal/harness"
-	"repro/internal/htm"
-	"repro/internal/queue"
+	"repro/queue"
 )
 
 func benchCfg() harness.Config {

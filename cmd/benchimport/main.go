@@ -1,0 +1,102 @@
+// Command benchimport folds `go test -bench` output into a harness.Report
+// JSON file, so substrate microbenchmarks live in the same machine-readable
+// record as the figure sweeps and are covered by the cmd/benchtrend gates.
+//
+// Usage:
+//
+//	go test -bench=. ./htm | tee bench.txt
+//	benchimport -json BENCH_CI.json bench.txt     # or read stdin with no args
+//
+// The target report must already exist (queuebench/collectbench create it);
+// same-name entries are replaced in place, so re-importing is idempotent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+
+	"repro/internal/harness"
+)
+
+// benchLine matches one result line. The -<N> GOMAXPROCS suffix is stripped:
+// snapshot and CI hosts differ in core count, and trend matching is by name.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+[\d.]+ B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonPath := flag.String("json", "", "harness.Report file to merge benchmarks into (required)")
+	note := flag.String("note", "", "optional note recorded on every imported entry")
+	flag.Parse()
+	if *jsonPath == "" {
+		fmt.Fprintln(os.Stderr, "benchimport: -json is required")
+		flag.Usage()
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchimport: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := harness.ReadJSONFile(*jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchimport: reading %s: %v\n", *jsonPath, err)
+		return 2
+	}
+
+	imported := 0
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs := 0.0
+		if m[3] != "" {
+			allocs, _ = strconv.ParseFloat(m[3], 64)
+		}
+		b := harness.Benchmark{Name: m[1], NsPerOp: ns, AllocsPerOp: allocs, Note: *note}
+		replaced := false
+		for i := range rep.Benchmarks {
+			if rep.Benchmarks[i].Name == b.Name {
+				rep.Benchmarks[i] = b
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		imported++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchimport: reading input: %v\n", err)
+		return 2
+	}
+	if imported == 0 {
+		fmt.Fprintln(os.Stderr, "benchimport: no benchmark lines found in input")
+		return 1
+	}
+	if err := rep.WriteJSONFile(*jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchimport: writing %s: %v\n", *jsonPath, err)
+		return 2
+	}
+	fmt.Printf("benchimport: merged %d benchmark(s) into %s\n", imported, *jsonPath)
+	return 0
+}

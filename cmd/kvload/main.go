@@ -1,0 +1,133 @@
+// Command kvload drives load at a running kvserver and reduces the results
+// to latency percentiles and throughput in the repository's machine-readable
+// bench format (harness.Report JSON), so server-level numbers are gated by
+// cmd/benchtrend exactly like the microbenchmark snapshots.
+//
+// Closed-loop by default (each worker issues its next operation as soon as
+// the previous one completes); -rate N switches to open loop, dispatching at
+// a fixed aggregate schedule. The keyspace is seeded with one unmeasured PUT
+// per key before the measured window.
+//
+// Usage:
+//
+//	kvload [-addr http://127.0.0.1:7070] [-duration 10s] [-workers 8]
+//	       [-rate 0] [-keys 4096] [-value-bytes 128] [-scan-limit 32]
+//	       [-mix 60/25/10/5] [-quick] [-wait 10s]
+//	       [-json out.json] [-append] [-label kvload]
+//
+// Exit status: 0 on success, 1 when the run (or report write) failed or the
+// server was unreachable, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/kv"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "base URL of the kvserver")
+	duration := flag.Duration("duration", 10*time.Second, "measured window")
+	workers := flag.Int("workers", 8, "concurrent client lanes")
+	rate := flag.Float64("rate", 0, "open-loop dispatch rate in ops/sec (0 = closed loop)")
+	keys := flag.Int("keys", 4096, "keyspace size")
+	valueBytes := flag.Int("value-bytes", 128, "PUT value size in bytes")
+	scanLimit := flag.Int("scan-limit", 32, "SCAN page size")
+	mix := flag.String("mix", "60/25/10/5", "operation mix GET/PUT/DELETE/SCAN in percent")
+	quick := flag.Bool("quick", false, "short CI-sized run (2s, 4 workers, 512 keys)")
+	wait := flag.Duration("wait", 10*time.Second, "wait this long for the server's /healthz before starting")
+	jsonOut := flag.String("json", "", "write (or with -append, merge) the results as a harness.Report to this file")
+	appendTo := flag.Bool("append", false, "merge into an existing -json report instead of overwriting it")
+	label := flag.String("label", "kvload", "label recorded in the -json report")
+	flag.Parse()
+
+	var getPct, putPct, delPct, scanPct int
+	if n, err := fmt.Sscanf(*mix, "%d/%d/%d/%d", &getPct, &putPct, &delPct, &scanPct); n != 4 || err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: bad -mix %q (want e.g. 60/25/10/5)\n", *mix)
+		return 2
+	}
+	cfg := kv.LoadConfig{
+		Workers:    *workers,
+		Duration:   *duration,
+		RatePerSec: *rate,
+		Keys:       *keys,
+		ValueBytes: *valueBytes,
+		ScanLimit:  *scanLimit,
+		GetPct:     getPct, PutPct: putPct, DeletePct: delPct, ScanPct: scanPct,
+	}
+	if *quick {
+		// -quick shrinks the run but keeps the same op mix, so quick CI runs
+		// and committed snapshots cover identical series and the benchtrend
+		// coverage gate can compare them.
+		cfg.Duration = 2 * time.Second
+		cfg.Workers = 4
+		cfg.Keys = 512
+	}
+
+	ctx := context.Background()
+	if err := waitHealthy(ctx, *addr, *wait); err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
+		return 1
+	}
+	res, err := kv.RunLoad(ctx, *addr, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvload: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.String())
+	fmt.Println(res.LatencyTable().Render())
+
+	if *jsonOut != "" {
+		rep := harness.NewReport(*label)
+		if *appendTo {
+			if existing, err := harness.ReadJSONFile(*jsonOut); err == nil {
+				rep = existing
+				rep.Label = *label
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "kvload: read %s: %v\n", *jsonOut, err)
+				return 1
+			}
+		}
+		res.FillReport(rep)
+		if err := rep.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "kvload: write %s: %v\n", *jsonOut, err)
+			return 1
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
+	}
+	return 0
+}
+
+// waitHealthy polls GET /healthz until it answers 200 or the budget runs out.
+func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not healthy after %s: %w", base, budget, lastErr)
+}

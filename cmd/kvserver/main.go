@@ -1,0 +1,104 @@
+// Command kvserver serves the transactional KV engine (package kv) over
+// HTTP. The storage engine is the simulated HTM heap: every GET/PUT/DELETE/
+// SCAN request runs as one heap transaction (TLE with the fine-grained
+// fallback), and background expiry/compaction jobs flow through an on-heap
+// concurrent queue. SIGINT/SIGTERM trigger a graceful shutdown: in-flight
+// requests complete, the job pipeline drains, and the process exits 0 — the
+// contract the CI e2e job asserts.
+//
+// Usage:
+//
+//	kvserver [-addr 127.0.0.1:7070] [-slots 16384] [-heap-words N]
+//	         [-pool N] [-max-value 4096] [-sweep 2s] [-job-workers 2]
+//	         [-job-queue htm|ms|rop|ebr] [-global-fallback] [-verbose]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/htm"
+	"repro/kv"
+	"repro/queue"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	slots := flag.Int("slots", kv.DefaultSlots, "hash index capacity (rounded up to a power of two)")
+	heapWords := flag.Int("heap-words", 0, "heap arena size in 64-bit words (0 = derived from -slots)")
+	pool := flag.Int("pool", 0, "execution-context pool size / engine concurrency (0 = 4*GOMAXPROCS)")
+	maxValue := flag.Int("max-value", kv.DefaultMaxValueBytes, "maximum value size in bytes")
+	sweep := flag.Duration("sweep", 2*time.Second, "interval between background expiry/compaction sweeps")
+	jobWorkers := flag.Int("job-workers", 2, "background job worker goroutines")
+	jobQueue := flag.String("job-queue", "htm", "job queue implementation: htm, ms, rop or ebr")
+	globalFallback := flag.Bool("global-fallback", false, "use the paper's global TLE fallback lock instead of the fine-grained lock-set")
+	verbose := flag.Bool("verbose", false, "log every request")
+	flag.Parse()
+
+	newQueue, err := queueFactory(*jobQueue)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
+		return 2
+	}
+
+	store := kv.NewStore(kv.Config{
+		Slots:          *slots,
+		HeapWords:      *heapWords,
+		MaxValueBytes:  *maxValue,
+		PoolThreads:    *pool,
+		GlobalFallback: *globalFallback,
+	})
+	opts := []kv.ServerOption{kv.WithJobs(kv.JobsConfig{
+		Interval: *sweep,
+		Workers:  *jobWorkers,
+		NewQueue: newQueue,
+	})}
+	if *verbose {
+		opts = append(opts, kv.WithRequestLog(nil))
+	}
+	srv := kv.NewServer(store, opts...)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: listen: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s)",
+		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue)
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
+		return 1
+	}
+	st := store.Heap().Stats()
+	log.Printf("kvserver: clean shutdown; final heap stats: %s", st)
+	return 0
+}
+
+// queueFactory maps a -job-queue name to a queue constructor.
+func queueFactory(name string) (func(h *htm.Heap) queue.Queue, error) {
+	switch name {
+	case "htm":
+		return func(h *htm.Heap) queue.Queue { return queue.NewHTMQueue(h) }, nil
+	case "ms":
+		return func(h *htm.Heap) queue.Queue { return queue.NewMSQueue(h) }, nil
+	case "rop":
+		return func(h *htm.Heap) queue.Queue { return queue.NewMSQueueROP(h) }, nil
+	case "ebr":
+		return func(h *htm.Heap) queue.Queue { return queue.NewMSQueueEBR(h) }, nil
+	default:
+		return nil, fmt.Errorf("unknown -job-queue %q (want htm, ms, rop or ebr)", name)
+	}
+}

@@ -16,9 +16,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/htm"
 	"repro/internal/core"
 	"repro/internal/cycles"
-	"repro/internal/htm"
 )
 
 func main() {

@@ -16,8 +16,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/htm"
-	"repro/internal/queue"
+	"repro/htm"
+	"repro/queue"
 )
 
 func run(name string, mk func(h *htm.Heap) queue.Queue) {

@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/htm"
 	"repro/internal/core"
-	"repro/internal/htm"
 )
 
 func main() {

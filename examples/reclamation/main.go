@@ -23,9 +23,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/htm"
 	"repro/internal/core"
 	"repro/internal/epoch"
-	"repro/internal/htm"
 )
 
 func dynamicCollectDemo() {

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // TestArrayDynResizeInvariant checks Figure 2's capacity invariant

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Shared-descriptor word offsets for the array algorithms, mirroring the

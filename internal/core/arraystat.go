@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // ArrayStatAppendDereg (§3.2) is the static-array variant of

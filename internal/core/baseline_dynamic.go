@@ -3,7 +3,7 @@ package core
 import (
 	"runtime"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // DynamicBaseline node layout. fwd packs the successor pointer (low 32

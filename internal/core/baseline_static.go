@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // StaticBaseline (§3.3) is the paper's non-HTM comparison point: a fixed

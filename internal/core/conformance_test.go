@@ -7,7 +7,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // impl describes one Collector implementation under conformance test.

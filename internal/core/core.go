@@ -41,8 +41,8 @@
 package core
 
 import (
+	"repro/htm"
 	"repro/internal/adapt"
-	"repro/internal/htm"
 )
 
 // Value is the word-sized value bound to a handle.

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // NullValue is the reserved value a DeferredReuse wrapper binds to parked

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // extensionImpls adds the paper-described-but-unimplemented variants to the

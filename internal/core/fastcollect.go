@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // FastCollect node layout: value and doubly-linked list pointers. No

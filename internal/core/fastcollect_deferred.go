@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Deferred-free FastCollect node layout: value, list links, and a separate

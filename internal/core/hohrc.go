@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // List-node layout for HOHRC: value, forward/backward links, a reference

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Handle block layout for the update-optimized variant: the value lives with

@@ -25,7 +25,7 @@ package epoch
 import (
 	"runtime"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Epoch record layout in the simulated heap: link to the next record, an

@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // The contended-overflow workload: every operation writes more distinct

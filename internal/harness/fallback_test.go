@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 func TestFallbackOverflowRuns(t *testing.T) {

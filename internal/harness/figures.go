@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/htm"
 	"repro/internal/core"
-	"repro/internal/htm"
-	"repro/internal/queue"
+	"repro/queue"
 )
 
 // Default sweeps, matching the paper's axes.

@@ -20,9 +20,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/htm"
 	"repro/internal/core"
 	"repro/internal/cycles"
-	"repro/internal/htm"
 )
 
 // Config carries experiment-wide knobs.

@@ -5,8 +5,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/htm"
-	"repro/internal/queue"
+	"repro/htm"
+	"repro/queue"
 )
 
 // QueueThroughput runs the §1.1 workload (Figure 1): threads perform a

@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
+	"repro/htm"
 	"repro/internal/core"
-	"repro/internal/htm"
-	"repro/internal/queue"
+	"repro/queue"
 )
 
 // CollectorSpec names one collector configuration as it appears in the

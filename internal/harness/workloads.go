@@ -5,8 +5,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/htm"
 	"repro/internal/core"
-	"repro/internal/htm"
 )
 
 // CollectUpdate runs the §5.3 workload (Figures 4–6): one thread performs

@@ -17,7 +17,7 @@ package hazard
 import (
 	"runtime"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Hazard record layout: link to the next record, an active flag, and K

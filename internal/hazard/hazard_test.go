@@ -4,7 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 func TestAcquireReusesReleasedRecords(t *testing.T) {

@@ -1,0 +1,85 @@
+package kv
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func TestRunLoadCoversEverySeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real traffic for ~300ms")
+	}
+	sv := NewServer(NewStore(Config{Slots: 4096}))
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), ts.URL, LoadConfig{
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Keys:     64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != len(loadOps) {
+		t.Fatalf("ops: %d want %d", len(res.Ops), len(loadOps))
+	}
+	// pickOp forces each worker's first four ops to be one of each kind, so
+	// even a sub-second run covers every series — the property the committed
+	// BENCH snapshot's coverage gate depends on.
+	for i, op := range res.Ops {
+		if op.Name != loadOps[i] {
+			t.Fatalf("op order: got %s at %d", op.Name, i)
+		}
+		if op.Count == 0 {
+			t.Fatalf("series %s has no samples", op.Name)
+		}
+		if op.Errors > 0 {
+			t.Fatalf("series %s saw %d errors against a local server", op.Name, op.Errors)
+		}
+		if op.P50 <= 0 || op.Max < op.P99 || op.P99 < op.P50 {
+			t.Fatalf("series %s has incoherent percentiles: %+v", op.Name, op)
+		}
+	}
+	if res.TotalOpsPerUs <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+
+	rep := harness.NewReport("loadgen-test")
+	res.FillReport(rep)
+	if len(rep.Tables) != 1 {
+		t.Fatalf("tables: %d", len(rep.Tables))
+	}
+	tab := rep.Tables[0]
+	if !strings.Contains(tab.Title, "ns/op") {
+		t.Fatalf("latency table title must carry the ns/op unit: %q", tab.Title)
+	}
+	if len(tab.Series) != 4 || len(tab.Xs) != 3 {
+		t.Fatalf("table shape: %d series x %d cols", len(tab.Series), len(tab.Xs))
+	}
+	if len(rep.Benchmarks) != 5 { // total + one per op
+		t.Fatalf("benchmarks: %d", len(rep.Benchmarks))
+	}
+	// A second identical-config run must produce an identical SHAPE (the
+	// coverage contract benchtrend -coverage-only enforces between a committed
+	// snapshot and a CI run).
+	res2, err := RunLoad(context.Background(), ts.URL, LoadConfig{
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Keys:     64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := harness.NewReport("loadgen-test-2")
+	res2.FillReport(rep2)
+	diff := harness.DiffReports(rep, rep2, 1e9) // huge threshold: shape only
+	if diff.MissingInNew > 0 {
+		t.Fatalf("identical config lost coverage: %d points missing", diff.MissingInNew)
+	}
+}

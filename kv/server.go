@@ -1,0 +1,272 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP face of a Store. Routes:
+//
+//	GET    /kv/{key...}   -> 200 + value bytes | 404
+//	PUT    /kv/{key...}   -> 204 (body = value; ?ttl=GoDuration for expiry)
+//	DELETE /kv/{key...}   -> 204 | 404
+//	GET    /scan          -> JSON page {pairs, next, done} (?cursor=&limit=)
+//	GET    /stats         -> JSON: heap txn stats, store counters, jobs, HTTP
+//	GET    /healthz       -> 200 "ok"
+//
+// Every data route is one Store call and therefore one heap transaction; the
+// response observes a single committed state (see DESIGN.md "KV engine").
+type Server struct {
+	store   *Store
+	jobs    JobsConfig
+	metrics Metrics
+	handler http.Handler
+	logf    func(format string, args ...any)
+
+	// jobsStats reads the live pipeline's counters; set by Serve once the
+	// pipeline exists, nil before (httptest servers never start one).
+	jobsStats func() JobStats
+
+	// ShutdownGrace bounds how long Serve waits for in-flight requests after
+	// its context is cancelled. Defaults to 10s.
+	ShutdownGrace time.Duration
+}
+
+// ServerOption mutates a Server at construction.
+type ServerOption func(*Server)
+
+// WithJobs overrides the background-maintenance pipeline configuration.
+func WithJobs(cfg JobsConfig) ServerOption { return func(sv *Server) { sv.jobs = cfg } }
+
+// WithRequestLog enables per-request logging through logf (nil = log.Printf).
+func WithRequestLog(logf func(format string, args ...any)) ServerOption {
+	return func(sv *Server) {
+		if logf == nil {
+			sv.logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		} else {
+			sv.logf = logf
+		}
+	}
+}
+
+// NewServer wraps store in the HTTP API with recovery and metrics middleware
+// (plus request logging if enabled).
+func NewServer(store *Store, opts ...ServerOption) *Server {
+	sv := &Server{store: store, ShutdownGrace: 10 * time.Second}
+	for _, o := range opts {
+		o(sv)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /kv/{key...}", sv.handleGet)
+	mux.HandleFunc("PUT /kv/{key...}", sv.handlePut)
+	mux.HandleFunc("POST /kv/{key...}", sv.handlePut) // curl-friendly alias
+	mux.HandleFunc("DELETE /kv/{key...}", sv.handleDelete)
+	mux.HandleFunc("GET /scan", sv.handleScan)
+	mux.HandleFunc("GET /stats", sv.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mws := []Middleware{WithMetrics(&sv.metrics)}
+	if sv.logf != nil {
+		mws = append(mws, WithLogging(sv.logf))
+	}
+	mws = append(mws, WithRecovery(&sv.metrics, sv.logf))
+	sv.handler = Chain(mux, mws...)
+	return sv
+}
+
+// Store returns the underlying engine.
+func (sv *Server) Store() *Store { return sv.store }
+
+// Metrics returns the server's HTTP counters.
+func (sv *Server) Metrics() *Metrics { return &sv.metrics }
+
+// ServeHTTP implements http.Handler (httptest and embedding).
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sv.handler.ServeHTTP(w, r)
+}
+
+// Serve runs the HTTP server on ln plus the background job pipeline until
+// ctx is cancelled, then shuts down gracefully: stop accepting, wait out
+// in-flight requests (bounded by ShutdownGrace), stop the pipeline, and wait
+// for every worker to release its queue context. Returns nil on a clean
+// shutdown — the exit-0 contract the CI e2e job asserts.
+func (sv *Server) Serve(ctx context.Context, ln net.Listener) error {
+	jobsCtx, stopJobs := context.WithCancel(context.Background())
+	jobs := StartJobs(jobsCtx, sv.store, sv.jobs)
+	defer func() {
+		stopJobs()
+		jobs.Wait()
+	}()
+	sv.jobsStats = jobs.Stats // live pipeline counters for /stats
+
+	hs := &http.Server{Handler: sv.handler}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	grace, cancel := context.WithTimeout(context.Background(), sv.ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(grace); err != nil {
+		return fmt.Errorf("kv: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func (sv *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := []byte(r.PathValue("key"))
+	val, ok, err := sv.store.Get(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(val)
+}
+
+func (sv *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := []byte(r.PathValue("key"))
+	val, err := io.ReadAll(io.LimitReader(r.Body, int64(sv.store.cfg.MaxValueBytes)+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var ttl time.Duration
+	if v := r.URL.Query().Get("ttl"); v != "" {
+		ttl, err = time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, "bad ttl: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	switch err := sv.store.Put(key, val, ttl); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrFull):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	existed, err := sv.store.Delete([]byte(r.PathValue("key")))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !existed {
+		http.NotFound(w, r)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// scanResponse is the JSON page shape of GET /scan. Keys and values are
+// base64 (encoding/json's []byte encoding): they are arbitrary bytes.
+type scanResponse struct {
+	Pairs []Pair `json:"pairs"`
+	Next  uint64 `json:"next"`
+	Done  bool   `json:"done"`
+}
+
+func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var cursor uint64
+	var err error
+	if v := q.Get("cursor"); v != "" {
+		cursor, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	limit := 64
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	pairs, next, err := sv.store.Scan(cursor, limit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if pairs == nil {
+		pairs = []Pair{}
+	}
+	writeJSON(w, scanResponse{Pairs: pairs, Next: next, Done: next >= sv.store.Slots()})
+}
+
+// statsResponse aggregates every observable layer of the service.
+type statsResponse struct {
+	Heap  map[string]any  `json:"heap"`
+	Store map[string]any  `json:"store"`
+	Jobs  *JobStats       `json:"jobs,omitempty"`
+	HTTP  MetricsSnapshot `json:"http"`
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hs := sv.store.heap.Stats()
+	aborts := make(map[string]uint64, len(hs.Aborts))
+	for code, n := range hs.Aborts {
+		aborts[code.String()] = n
+	}
+	oc := sv.store.OpCounters()
+	resp := statsResponse{
+		Heap: map[string]any{
+			"starts":           hs.Starts,
+			"commits":          hs.Commits,
+			"aborts":           aborts,
+			"abort_rate":       hs.AbortRate(),
+			"fallback_runs":    hs.FallbackRuns,
+			"fallback_locks":   hs.FallbackLocks,
+			"fallback_retries": hs.FallbackRetries,
+			"live_words":       hs.LiveWords,
+			"max_live_words":   hs.MaxLiveWords,
+		},
+		Store: map[string]any{
+			"slots":      sv.store.Slots(),
+			"count":      sv.store.Len(),
+			"tombstones": sv.store.Tombstones(),
+			"gets":       oc.Gets,
+			"puts":       oc.Puts,
+			"deletes":    oc.Deletes,
+			"scans":      oc.Scans,
+			"expired":    oc.Expired,
+			"compacted":  oc.Compacted,
+		},
+		HTTP: sv.metrics.Snapshot(),
+	}
+	if sv.jobsStats != nil {
+		js := sv.jobsStats()
+		resp.Jobs = &js
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,7 +1,7 @@
 package queue
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // HTMQueue descriptor layout.

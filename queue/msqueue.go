@@ -1,7 +1,7 @@
 package queue
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Counted (tagged) pointers: address in the low 32 bits, modification tag in

@@ -1,8 +1,8 @@
 package queue
 
 import (
+	"repro/htm"
 	"repro/internal/epoch"
-	"repro/internal/htm"
 )
 
 // MSQueueEBR is the Michael-Scott queue with epoch-based reclamation

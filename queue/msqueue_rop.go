@@ -1,8 +1,8 @@
 package queue
 
 import (
+	"repro/htm"
 	"repro/internal/hazard"
-	"repro/internal/htm"
 )
 
 // MSQueueROP is the Michael-Scott queue with hazard-pointer (ROP)

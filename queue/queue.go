@@ -21,7 +21,7 @@
 package queue
 
 import (
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 // Node layout shared by all queues: a value and a next pointer (the MS

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/htm"
+	"repro/htm"
 )
 
 type qimpl struct {

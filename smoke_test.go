@@ -2,15 +2,40 @@ package repro
 
 // Smoke tests for the demo surface: every example and command must build and
 // exit cleanly, so CI catches drift between the libraries and the binaries
-// that showcase them.
+// that showcase them. Binaries are DISCOVERED from cmd/ and examples/, not
+// hand-listed — adding a binary without a smoke run is impossible; the args
+// map only overrides how a binary is exercised.
 
 import (
 	"context"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
 	"time"
 )
+
+// discoverPackages returns "./dir/name" for every subdirectory of the given
+// roots (each is a main package in this repo's layout).
+func discoverPackages(t *testing.T, roots ...string) []string {
+	t.Helper()
+	var pkgs []string
+	for _, root := range roots {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("reading %s: %v", root, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs = append(pkgs, "./"+filepath.ToSlash(filepath.Join(root, e.Name())))
+			}
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("discovered no binaries")
+	}
+	return pkgs
+}
 
 func TestSmokeExamplesAndCommands(t *testing.T) {
 	if testing.Short() {
@@ -18,40 +43,67 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 	}
 	tmp := t.TempDir()
 	collectJSON := filepath.Join(tmp, "collect.json")
-	cases := []struct {
-		pkg  string
-		args []string
-	}{
-		{"./examples/quickstart", nil},
-		{"./examples/queue", nil},
-		{"./examples/adaptive", nil},
-		{"./examples/reclamation", nil},
-		{"./cmd/queuebench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
-		{"./cmd/fallbackbench", []string{"-quick", "-duration", "10ms", "-threads", "4"}},
-		{"./cmd/collectbench", []string{"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3", "-json", collectJSON}},
-		{"./cmd/experiments", []string{"-quick", "-duration", "10ms"}},
+
+	// Per-binary invocation overrides. Anything not listed here runs with
+	// -help: flag's ExitOnError usage path exits 0 and prints the flag set, so
+	// a discovered server or driver binary still proves it builds, parses its
+	// flags, and says something — without needing a live counterpart.
+	argsFor := map[string][]string{
+		"./examples/quickstart":  {},
+		"./examples/queue":       {},
+		"./examples/adaptive":    {},
+		"./examples/reclamation": {},
+		"./cmd/queuebench":       {"-quick", "-duration", "10ms", "-threads", "4"},
+		"./cmd/fallbackbench":    {"-quick", "-duration", "10ms", "-threads", "4"},
+		"./cmd/collectbench":     {"-quick", "-duration", "10ms", "-threads", "4", "-exp", "fig3", "-json", collectJSON},
+		"./cmd/experiments":      {"-quick", "-duration", "10ms"},
+		"./cmd/kvserver":         {"-help"},
+		"./cmd/kvload":           {"-help"},
 		// Self-diff of the committed snapshot: must exit 0 (no regressions,
 		// no shrunken coverage).
-		{"./cmd/benchtrend", []string{"-fail-shrunk", "BENCH_PR5.json", "BENCH_PR5.json"}},
-		// Consecutive committed snapshots: PR5 must cover every series PR4
-		// recorded. -coverage-only ignores the per-point deltas — the two
-		// snapshots were measured on different days, so only coverage is a
-		// deterministic, comparable property.
-		{"./cmd/benchtrend", []string{"-coverage-only", "BENCH_PR4.json", "BENCH_PR5.json"}},
+		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR6.json", "BENCH_PR6.json"},
 	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.pkg[2:], func(t *testing.T) {
+
+	pkgs := discoverPackages(t, "cmd", "examples")
+	for _, pkg := range pkgs {
+		pkg := pkg
+		args, ok := argsFor[pkg]
+		if !ok {
+			args = []string{"-help"}
+		}
+		t.Run(pkg[2:], func(t *testing.T) {
 			t.Parallel()
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 			defer cancel()
-			cmd := exec.CommandContext(ctx, "go", append([]string{"run", tc.pkg}, tc.args...)...)
+			cmd := exec.CommandContext(ctx, "go", append([]string{"run", pkg}, args...)...)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
-				t.Fatalf("go run %s %v failed: %v\n%s", tc.pkg, tc.args, err, out)
+				t.Fatalf("go run %s %v failed: %v\n%s", pkg, args, err, out)
 			}
 			if len(out) == 0 {
-				t.Errorf("go run %s produced no output", tc.pkg)
+				t.Errorf("go run %s produced no output", pkg)
+			}
+		})
+	}
+
+	// Consecutive committed snapshots: each PR's snapshot must cover every
+	// series its predecessor recorded. -coverage-only ignores the per-point
+	// deltas — snapshots are measured on different days, so only coverage is
+	// a deterministic, comparable property.
+	chain := [][2]string{
+		{"BENCH_PR4.json", "BENCH_PR5.json"},
+		{"BENCH_PR5.json", "BENCH_PR6.json"},
+	}
+	for _, link := range chain {
+		link := link
+		t.Run("coverage-chain/"+link[0]+"->"+link[1], func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./cmd/benchtrend", "-coverage-only", link[0], link[1])
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("coverage gate %s -> %s failed: %v\n%s", link[0], link[1], err, out)
 			}
 		})
 	}
