@@ -59,6 +59,14 @@ func run() int {
 	fmt.Println(scaling.Render())
 	interference := harness.FallbackInterferenceTable(cfg, tc)
 	fmt.Println(interference.Render())
+	// The spins sweep runs at a fixed thread count (capped by -threads) so
+	// quick and full runs cover the same axis.
+	spinsThreads := 8
+	if spinsThreads > *threads {
+		spinsThreads = *threads
+	}
+	spinsSweep := harness.FallbackSpinsSweep(cfg, spinsThreads, []int{0, 32, 128, 512})
+	fmt.Println(spinsSweep.Render())
 
 	if *jsonOut != "" {
 		rep := harness.NewReport(*label)
@@ -75,6 +83,7 @@ func run() int {
 		rep.SetConfig("fallback_threads", fmt.Sprint(*threads))
 		rep.AddTable(scaling)
 		rep.AddTable(interference)
+		rep.AddTable(spinsSweep)
 		if err := rep.WriteJSONFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "fallbackbench: write %s: %v\n", *jsonOut, err)
 			return 1

@@ -108,11 +108,17 @@ func run() int {
 	return 0
 }
 
-// waitHealthy polls GET /healthz until it answers 200 or the budget runs out.
+// waitHealthy polls GET /healthz until it answers 200 or the budget runs
+// out, backing off exponentially from 25ms to a 500ms cap. The early retries
+// are tight so a server that comes up quickly costs almost no wait; the cap
+// keeps a slow CI machine from burning the whole budget in a handful of
+// probes.
 func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
 	deadline := time.Now().Add(budget)
+	pause := 25 * time.Millisecond
+	const maxPause = 500 * time.Millisecond
 	var lastErr error
-	for time.Now().Before(deadline) {
+	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 		if err != nil {
 			return err
@@ -127,7 +133,12 @@ func waitHealthy(ctx context.Context, base string, budget time.Duration) error {
 		} else {
 			lastErr = err
 		}
-		time.Sleep(100 * time.Millisecond)
+		if !time.Now().Add(pause).Before(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %w", base, budget, lastErr)
+		}
+		time.Sleep(pause)
+		if pause *= 2; pause > maxPause {
+			pause = maxPause
+		}
 	}
-	return fmt.Errorf("server at %s not healthy after %s: %w", base, budget, lastErr)
 }

@@ -11,6 +11,14 @@
 //	kvserver [-addr 127.0.0.1:7070] [-slots 16384] [-heap-words N]
 //	         [-pool N] [-max-value 4096] [-sweep 2s] [-job-workers 2]
 //	         [-job-queue htm|ms|rop|ebr] [-global-fallback] [-verbose]
+//	         [-admission] [-req-timeout 0] [-max-retries 0]
+//	         [-fault-seed 1] [-fault-begin P] [-fault-access P]
+//	         [-fault-commit P] [-fault-stall P]
+//
+// The -fault-* flags attach a seeded injection plan (htm.FaultPlan) to the
+// heap — the chaos knobs, usable against a live server; -admission turns on
+// load shedding (503 + Retry-After under pool saturation or abort storms)
+// and -req-timeout bounds each request's store operation.
 package main
 
 import (
@@ -44,6 +52,14 @@ func run() int {
 	jobQueue := flag.String("job-queue", "htm", "job queue implementation: htm, ms, rop or ebr")
 	globalFallback := flag.Bool("global-fallback", false, "use the paper's global TLE fallback lock instead of the fine-grained lock-set")
 	verbose := flag.Bool("verbose", false, "log every request")
+	admission := flag.Bool("admission", false, "shed load (503 + Retry-After) under pool saturation or abort storms")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-request store-operation deadline (0 = unbounded)")
+	maxRetries := flag.Int("max-retries", 0, "hardware retry budget before the TLE fallback (0 = engine default)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -fault-* injection plan")
+	faultBegin := flag.Float64("fault-begin", 0, "probability of a spurious abort at transaction begin")
+	faultAccess := flag.Float64("fault-access", 0, "probability of a spurious abort per transactional access")
+	faultCommit := flag.Float64("fault-commit", 0, "probability of a spurious abort at commit-point")
+	faultStall := flag.Float64("fault-stall", 0, "probability a fallback run stalls while holding its lock-set")
 	flag.Parse()
 
 	newQueue, err := queueFactory(*jobQueue)
@@ -52,12 +68,25 @@ func run() int {
 		return 2
 	}
 
+	var plan *htm.FaultPlan
+	if *faultBegin > 0 || *faultAccess > 0 || *faultCommit > 0 || *faultStall > 0 {
+		plan = &htm.FaultPlan{
+			Seed:       *faultSeed,
+			BeginProb:  *faultBegin,
+			AccessProb: *faultAccess,
+			CommitProb: *faultCommit,
+			StallProb:  *faultStall,
+			MaxPerOp:   64, // a live server must keep terminating under any dial setting
+		}
+	}
 	store := kv.NewStore(kv.Config{
 		Slots:          *slots,
 		HeapWords:      *heapWords,
 		MaxValueBytes:  *maxValue,
 		PoolThreads:    *pool,
 		GlobalFallback: *globalFallback,
+		MaxRetries:     *maxRetries,
+		Faults:         plan,
 	})
 	opts := []kv.ServerOption{kv.WithJobs(kv.JobsConfig{
 		Interval: *sweep,
@@ -67,6 +96,12 @@ func run() int {
 	if *verbose {
 		opts = append(opts, kv.WithRequestLog(nil))
 	}
+	if *admission {
+		opts = append(opts, kv.WithAdmissionControl(kv.AdmissionConfig{}))
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, kv.WithRequestTimeout(*reqTimeout))
+	}
 	srv := kv.NewServer(store, opts...)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -74,10 +109,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "kvserver: listen: %v\n", err)
 		return 1
 	}
+	// Log the bound address the moment the listener exists — before signal
+	// wiring or anything else that could delay (or, failing, suppress) the
+	// line. Supervisors and the CI e2e script treat it as the readiness
+	// signal, and with -addr :0 it is the only way to learn the chosen port.
+	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s faults=%v)",
+		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue, plan != nil)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s)",
-		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue)
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
 		return 1

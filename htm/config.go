@@ -106,6 +106,22 @@ type Config struct {
 	// this; space-measured runs must leave it unset.
 	NoMaxLive bool
 
+	// FallbackSpins bounds how long the fine-grained TLE fallback spins on a
+	// locked word it reached OUT OF ADDRESS ORDER before engaging the
+	// deadlock-avoidance release-and-retry protocol (drop the whole lock-set,
+	// re-run the body). In-order acquisitions spin indefinitely — they cannot
+	// deadlock. 0 selects the default (128, see defaultFallbackSpins);
+	// negative releases-and-retries immediately on any out-of-order collision
+	// (maximally paranoid, maximally re-execution-happy). Only meaningful with
+	// EnableTLE and not GlobalFallback.
+	FallbackSpins int
+
+	// Faults attaches a seeded fault-injection plan (see FaultPlan). nil — the
+	// default — injects nothing and costs one pointer check per transactional
+	// operation. The same Config value (plan included) reproduces the same
+	// injected fault sequence for equal executions.
+	Faults *FaultPlan
+
 	// YieldEvery makes a running transaction yield the processor after every
 	// N transactional accesses (0 = never). On hosts with fewer cores than
 	// simulated threads, goroutines otherwise run whole transactions within
@@ -140,6 +156,19 @@ func (c Config) withDefaults() Config {
 	c.Sandboxed = !c.NoSandbox
 	c.trackMaxLive = !c.NoMaxLive
 	return c
+}
+
+// fallbackSpins resolves the FallbackSpins knob: the out-of-order try-lock
+// spin bound used by the fine-grained fallback's deadlock avoidance.
+func (c Config) fallbackSpins() int {
+	switch {
+	case c.FallbackSpins > 0:
+		return c.FallbackSpins
+	case c.FallbackSpins < 0:
+		return 0
+	default:
+		return defaultFallbackSpins
+	}
 }
 
 // dedupBypassThreshold resolves the DedupBypass knob against MaxReadSet: the

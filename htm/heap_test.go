@@ -222,7 +222,7 @@ func TestAbortErrorFormatting(t *testing.T) {
 	if errors.Is(e, &AbortError{Code: AbortOverflow}) {
 		t.Error("errors.Is should not match different code")
 	}
-	for c := AbortConflict; c <= AbortCapacity; c++ {
+	for c := AbortConflict; c <= AbortSpurious; c++ {
 		if c.String() == "" {
 			t.Errorf("empty name for code %d", c)
 		}

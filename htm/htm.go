@@ -76,6 +76,13 @@ const (
 	// AbortCapacity indicates the transaction exceeded the configured read
 	// set capacity (Config.MaxReadSet).
 	AbortCapacity
+	// AbortSpurious indicates the attempt was killed by the seeded
+	// fault-injection plan (Config.Faults), modeling Rock's environmental
+	// aborts — interrupts, TLB misses, cache displacement — which carry no
+	// information about the transaction's own behaviour. Spurious aborts are
+	// produced only by fault injection, never by the engine itself, and only
+	// on the hardware path: the software fallback, like Rock's, is immune.
+	AbortSpurious
 )
 
 // String returns a short human-readable name for the abort code.
@@ -93,6 +100,8 @@ func (c AbortCode) String() string {
 		return "fallback-lock"
 	case AbortCapacity:
 		return "read-capacity"
+	case AbortSpurious:
+		return "spurious"
 	default:
 		return fmt.Sprintf("abort(%d)", uint8(c))
 	}

@@ -7,13 +7,13 @@ import (
 	"sync/atomic"
 )
 
-const numAbortCodes = int(AbortCapacity) + 1
+const numAbortCodes = int(AbortSpurious) + 1
 
 // statCell is one thread's statistics block. Each Thread owns a cell and
 // updates only it, so the counters are uncontended in steady state; the cell
-// is padded to two 64-byte cache lines so cells that end up adjacent in
-// memory never false-share. The fields are atomics only so that Heap.Stats
-// may read them while threads run.
+// is padded to 64-byte cache lines so cells that end up adjacent in memory
+// never false-share. The fields are atomics only so that Heap.Stats may read
+// them while threads run.
 type statCell struct {
 	starts          atomic.Uint64
 	commits         atomic.Uint64
@@ -21,11 +21,13 @@ type statCell struct {
 	fallbackRuns    atomic.Uint64
 	fallbackLocks   atomic.Uint64
 	fallbackRetries atomic.Uint64
+	fallbackStalls  atomic.Uint64
 	allocCalls      atomic.Uint64
 	freeCalls       atomic.Uint64
 	allocWords      atomic.Uint64
 	freeWords       atomic.Uint64
-	// 16 counters (128 B) fill two cache lines exactly; no tail pad needed.
+	// 18 counters (144 B); pad the tail to three full cache lines (192 B).
+	_pad [6]uint64
 }
 
 // stats is the heap-internal statistics block: a registry of per-thread
@@ -99,6 +101,9 @@ type Stats struct {
 	// their whole lock-set and re-ran the operation body — the
 	// deadlock-avoidance release-and-retry path.
 	FallbackRetries uint64
+	// FallbackStalls counts injected lock-holder stall windows executed on the
+	// fallback path (Config.Faults with StallProb > 0); 0 without injection.
+	FallbackStalls uint64
 	// AllocCalls and FreeCalls count allocator operations.
 	AllocCalls, FreeCalls uint64
 	// LiveWords is the number of currently allocated payload words;
@@ -110,6 +115,10 @@ type Stats struct {
 	// mid-run. Space-measured experiments must not set NoMaxLive.
 	LiveWords, MaxLiveWords uint64
 }
+
+// SpuriousAborts returns the number of attempts killed by fault injection —
+// Aborts[AbortSpurious], named for the overload detectors that watch it.
+func (s Stats) SpuriousAborts() uint64 { return s.Aborts[AbortSpurious] }
 
 // TotalAborts returns the sum of aborts across all reasons.
 func (s Stats) TotalAborts() uint64 {
@@ -134,7 +143,7 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "starts=%d commits=%d aborts=%d (", s.Starts, s.Commits, s.TotalAborts())
 	first := true
-	for c := AbortConflict; c <= AbortCapacity; c++ {
+	for c := AbortConflict; c <= AbortSpurious; c++ {
 		if n := s.Aborts[c]; n > 0 {
 			if !first {
 				b.WriteString(" ")
@@ -143,8 +152,8 @@ func (s Stats) String() string {
 			first = false
 		}
 	}
-	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d alloc=%d free=%d live=%dw maxLive=%dw",
-		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries,
+	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d fbstalls=%d alloc=%d free=%d live=%dw maxLive=%dw",
+		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries, s.FallbackStalls,
 		s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords)
 	return b.String()
 }
@@ -161,6 +170,7 @@ func (h *Heap) Stats() Stats {
 		s.FallbackRuns += c.fallbackRuns.Load()
 		s.FallbackLocks += c.fallbackLocks.Load()
 		s.FallbackRetries += c.fallbackRetries.Load()
+		s.FallbackStalls += c.fallbackStalls.Load()
 		s.AllocCalls += c.allocCalls.Load()
 		s.FreeCalls += c.freeCalls.Load()
 		for code := 1; code < numAbortCodes; code++ {

@@ -20,6 +20,10 @@ type Thread struct {
 	// cell is this thread's private statistics block; see stats.
 	cell *statCell
 
+	// faults is this thread's fault-injection state; nil when the heap has no
+	// plan, so the hot paths pay a single pointer check.
+	faults *threadFaults
+
 	// Attempt outcome counters for this thread.
 	attempts uint64
 	commits  uint64
@@ -53,6 +57,12 @@ func (h *Heap) NewThread() *Thread {
 	th.txn.dedupAfter = h.cfg.dedupBypassThreshold()
 	th.txn.fbOwner = id & fallbackOwnerMask
 	th.txn.globalFB = h.cfg.EnableTLE && h.cfg.GlobalFallback
+	th.txn.fbSpins = h.cfg.fallbackSpins()
+	if h.cfg.Faults.enabled() {
+		th.faults = newThreadFaults(h.cfg.Faults, id)
+		th.txn.faults = th.faults
+		th.txn.fbDelay = th.faults.releaseDelay
+	}
 	return th
 }
 
@@ -130,7 +140,18 @@ func (th *Thread) begin() *Txn {
 	t.rv = h.clock.Load()
 	th.attempts++
 	bump(&th.cell.starts)
+	if th.faults != nil {
+		th.faults.attemptStart()
+	}
 	return t
+}
+
+// faultOpStart opens a new fault-injection operation scope (one Atomic,
+// AtomicUntil or TryAtomic call), resetting the per-op injection budget.
+func (th *Thread) faultOpStart() {
+	if th.faults != nil {
+		th.faults.opStart()
+	}
 }
 
 // TryAtomic executes f as a single transaction attempt. It returns nil if
@@ -140,6 +161,7 @@ func (th *Thread) begin() *Txn {
 //
 // f may be re-executed by other calls and must be restartable; see Txn.
 func (th *Thread) TryAtomic(f func(*Txn)) error {
+	th.faultOpStart()
 	code, addr, ok := th.tryAtomic(f)
 	if ok {
 		return nil
@@ -168,7 +190,22 @@ func (th *Thread) tryAtomic(f func(*Txn)) (code AbortCode, addr Addr, ok bool) {
 			code, addr = t.abortCode, t.abortAddr
 		}
 	}()
+	// Begin-site injection: the attempt dies before the body runs, like an
+	// interrupt landing right after checkpoint. Only hardware attempts pass
+	// through here (runFallback calls fallbackAttempt directly), so the
+	// fallback path is structurally immune to injection.
+	if th.faults != nil && th.faults.fireBegin() {
+		t.abort(AbortSpurious, NilAddr)
+	}
 	f(t)
+	// Commit-point injection: the body ran to completion and every buffered
+	// effect is discarded anyway — the most expensive abort the environment
+	// can inflict.
+	if th.faults != nil && th.faults.fireCommit() {
+		t.rollbackAllocs()
+		bump(&th.cell.aborts[AbortSpurious])
+		return AbortSpurious, NilAddr, false
+	}
 	if code, addr = t.commit(); code != 0 {
 		t.rollbackAllocs()
 		bump(&th.cell.aborts[code])
@@ -187,20 +224,38 @@ func (th *Thread) tryAtomic(f func(*Txn)) (code AbortCode, addr Addr, ok bool) {
 // lock (§6). Without TLE, a transaction that deterministically overflows the
 // store buffer panics rather than retrying forever.
 func (th *Thread) Atomic(f func(*Txn)) {
+	th.AtomicUntil(f, nil)
+}
+
+// AtomicUntil is Atomic with an abandon hook: stop is consulted after each
+// failed attempt, and a true return abandons the operation. It reports whether
+// f committed — false means f definitely did not take effect (an attempt is
+// abandoned only after it has already aborted and rolled back). A nil stop
+// never abandons, making AtomicUntil(f, nil) exactly Atomic.
+//
+// Once the TLE fallback engages the operation runs to completion regardless
+// of stop: the fallback cannot abort, so there is no between-attempts point
+// left to abandon at. This bounds how late a deadline can act by one fallback
+// execution, in exchange for keeping the false ⇒ not-committed guarantee.
+func (th *Thread) AtomicUntil(f func(*Txn), stop func() bool) bool {
+	th.faultOpStart()
 	for attempt := 0; ; attempt++ {
 		code, addr, ok := th.tryAtomic(f)
 		if ok {
-			return
+			return true
 		}
 		cfg := &th.h.cfg
 		if cfg.EnableTLE && attempt+1 >= cfg.MaxRetries {
 			th.runFallback(f)
-			return
+			return true
 		}
 		if code == AbortOverflow && !cfg.EnableTLE {
 			// Deterministic failure: the same body will overflow again.
 			panic(fmt.Sprintf("htm: transaction overflows the %d-entry store buffer and no TLE fallback is enabled: %v",
 				cfg.StoreBufferSize, &AbortError{Code: code, Addr: addr}))
+		}
+		if stop != nil && stop() {
+			return false
 		}
 		th.backoff(attempt)
 	}
@@ -227,6 +282,14 @@ func (th *Thread) runFallback(f func(*Txn)) {
 		t.reset()
 		t.direct = true
 		if th.fallbackAttempt(f) {
+			// Injected adversity: stall at the worst possible moment — body
+			// done, entire lock-set held, commit not yet run — so every thread
+			// colliding with this footprint must survive a long hold. The
+			// stall is finite (StallSpins yields), so progress is delayed,
+			// never destroyed.
+			if th.faults != nil && th.faults.maybeStall() {
+				bump(&th.cell.fallbackStalls)
+			}
 			t.commit() // write-back, release lock-set, run deferred frees
 			bump(&th.cell.fallbackRuns)
 			return

@@ -80,6 +80,13 @@ type Txn struct {
 	maxReadSet   int
 	storeBufSize int
 	dedupAfter   int // read-set length at which dedup engages (see below)
+	fbSpins      int // out-of-order try-lock bound (Config.FallbackSpins)
+
+	// Fault injection (Config.Faults): faults is the owning thread's injection
+	// state (nil without a plan — one pointer check per access), fbDelay the
+	// injected yield count between fallback write-back and lock-set release.
+	faults  *threadFaults
+	fbDelay int
 
 	// Read-set dedup state. Attempts start in BYPASS mode: loads append to
 	// the read set without any duplicate tracking — duplicate entries are
@@ -204,12 +211,13 @@ func (t *Txn) addLock(a Addr, prev uint64) int {
 	return n - 1
 }
 
-// fbOrderedSpins bounds how long a fallback operation try-locks a word BELOW
-// its acquisition watermark before releasing everything and retrying. Waiting
-// on a word above every held address follows the global address order and
-// cannot deadlock, so in-order waits are unbounded; out-of-order waits are
-// where cycles form, so they are bounded.
-const fbOrderedSpins = 128
+// defaultFallbackSpins is the default bound on how long a fallback operation
+// try-locks a word BELOW its acquisition watermark before releasing everything
+// and retrying (Config.FallbackSpins overrides it). Waiting on a word above
+// every held address follows the global address order and cannot deadlock, so
+// in-order waits are unbounded; out-of-order waits are where cycles form, so
+// they are bounded.
+const defaultFallbackSpins = 128
 
 // fbAcquire takes the fine-grained fallback lock on a's metadata word and
 // returns its lock-set slot (immediately, if already held). Deadlock
@@ -217,7 +225,7 @@ const fbOrderedSpins = 128
 // watermark may wait indefinitely (address order is a global total order, so
 // such waits cannot cycle; hardware commits and NT operations never wait
 // while holding locks and are waited out unconditionally), while acquiring
-// below it try-locks fbOrderedSpins times and then aborts the attempt — the
+// below it try-locks Config.FallbackSpins times and then aborts the attempt — the
 // runFallback loop releases the entire lock-set, backs off with jitter, and
 // re-runs the body. The owner ID recorded in the held word lets a contending
 // fallback see who holds it in a debugger and turns a same-thread re-lock —
@@ -244,7 +252,7 @@ func (t *Txn) fbAcquire(a Addr, op string) int {
 				panic(fmt.Sprintf("htm: fallback self-deadlock: word %#x is locked by this thread but missing from its lock-set", uint32(a)))
 			}
 			// Held by another fallback operation, potentially for long.
-			if len(t.locks) > 0 && a < t.fbMax && spins >= fbOrderedSpins {
+			if len(t.locks) > 0 && a < t.fbMax && spins >= t.fbSpins {
 				t.abort(AbortConflict, a) // release-and-retry (runFallback)
 			}
 			runtime.Gosched()
@@ -454,6 +462,12 @@ func (t *Txn) Load(a Addr) uint64 {
 		return t.h.LoadNT(a)
 	}
 	t.maybeYield()
+	// Access-site injection (hardware attempts only — the direct paths
+	// returned above): the attempt dies mid-body, like a TLB miss or cache
+	// displacement landing on a transactional access.
+	if t.faults != nil && t.faults.fireAccess() {
+		t.abort(AbortSpurious, NilAddr)
+	}
 	if a == NilAddr || int(a) >= len(t.meta) {
 		t.accessFault(a, "load")
 	}
@@ -538,6 +552,10 @@ func (t *Txn) Store(a Addr, v uint64) {
 		return
 	}
 	t.maybeYield()
+	// Access-site injection; see Load.
+	if t.faults != nil && t.faults.fireAccess() {
+		t.abort(AbortSpurious, NilAddr)
+	}
 	if a == NilAddr || int(a) >= len(t.meta) {
 		t.accessFault(a, "store")
 	}
@@ -618,6 +636,12 @@ func (t *Txn) commit() (AbortCode, Addr) {
 			if len(t.writes) > 0 {
 				for i := range t.writes {
 					h.words[t.writes[i].addr].Store(t.writes[i].val)
+				}
+				// Injected adversity (Config.Faults.ReleaseDelay): hold the
+				// lock-set a while longer after write-back, stretching the
+				// window in which contenders see the words fallback-locked.
+				for i := 0; i < t.fbDelay; i++ {
+					runtime.Gosched()
 				}
 				t.fbRelease(h.clock.Add(1))
 			} else {

@@ -42,12 +42,12 @@ func TestJobsPipelineExpiresAndCompacts(t *testing.T) {
 
 	// Entries that will expire at t=100, plus survivors.
 	for i := 0; i < 50; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("ttl-%02d", i)), []byte("v"), 99); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("ttl-%02d", i)), []byte("v"), 99); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 20; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("live-%02d", i)), []byte("v"), 0); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("live-%02d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -77,7 +77,7 @@ func TestJobsPipelineExpiresAndCompacts(t *testing.T) {
 		t.Fatalf("pipeline idle: %+v", st)
 	}
 	for i := 0; i < 20; i++ {
-		if _, ok, _ := s.Get([]byte(fmt.Sprintf("live-%02d", i))); !ok {
+		if _, ok, _ := s.Get(bg, []byte(fmt.Sprintf("live-%02d", i))); !ok {
 			t.Fatalf("survivor live-%02d lost", i)
 		}
 	}
@@ -101,7 +101,7 @@ func TestJobsPipelineOnMSQueue(t *testing.T) {
 	cfg.Now = now.Load
 	s := NewStore(cfg)
 	for i := 0; i < 30; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("e-%02d", i)), []byte("v"), 10); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("e-%02d", i)), []byte("v"), 10); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +134,7 @@ func TestJobsShutdownUnderLoad(t *testing.T) {
 	now.Store(1)
 	s := testStore(t, Config{Slots: 1 << 12}, &now)
 	for i := 0; i < 200; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("x-%03d", i)), []byte("v"), 5); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("x-%03d", i)), []byte("v"), 5); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,10 +151,10 @@ func TestJobsShutdownUnderLoad(t *testing.T) {
 		t.Fatal("Wait hung after cancel under load")
 	}
 	// Post-shutdown the engine still works.
-	if err := s.Put([]byte("after"), []byte("shutdown"), 0); err != nil {
+	if err := s.Put(bg, []byte("after"), []byte("shutdown"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get([]byte("after")); !ok {
+	if _, ok, _ := s.Get(bg, []byte("after")); !ok {
 		t.Fatal("store unusable after pipeline shutdown")
 	}
 }

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"repro/htm"
 )
 
 // Tuning limits. Key and value sizes are bounded so a single operation's
@@ -56,6 +58,11 @@ var (
 	// ErrEmptyKey reports a zero-length key (reserved: an empty key cannot be
 	// distinguished from a missing path segment at the HTTP layer).
 	ErrEmptyKey = errors.New("kv: empty key")
+	// ErrDeadline reports that an operation was abandoned because its context
+	// was cancelled or its deadline passed — while waiting for a pooled
+	// execution context, or between transaction retry attempts. An operation
+	// that returns ErrDeadline definitely did not take effect.
+	ErrDeadline = errors.New("kv: operation abandoned at deadline")
 )
 
 // Config parameterizes a Store. The zero value selects the defaults above on
@@ -84,6 +91,16 @@ type Config struct {
 	// GlobalFallback selects the paper's global TLE fallback lock instead of
 	// the default fine-grained per-word lock-set (comparison benchmarks).
 	GlobalFallback bool
+
+	// MaxRetries overrides the engine's retry budget before an operation
+	// completes on the TLE fallback (0 = htm default). Chaos experiments
+	// raise it to keep operations on the killable hardware path longer.
+	MaxRetries int
+
+	// Faults attaches a seeded fault-injection plan to the backing heap (see
+	// htm.FaultPlan) — the chaos harness's adversity dial. nil injects
+	// nothing.
+	Faults *htm.FaultPlan
 
 	// Now overrides the expiry clock (tests). Defaults to time.Now-based
 	// unix nanoseconds.

@@ -172,6 +172,51 @@ func (w *loadWorker) do(ctx context.Context, op int) bool {
 	return resp.StatusCode >= 400 && resp.StatusCode != http.StatusNotFound
 }
 
+// seedPut issues one seed-phase PUT, retrying transient failures (transport
+// errors from a server still binding its listener, 503s from one shedding
+// load at startup) with exponential backoff capped at 500ms. Hard failures
+// (4xx) surface immediately — retrying a rejected request cannot help.
+func seedPut(ctx context.Context, client *http.Client, baseURL, key string, val []byte) error {
+	const (
+		attempts = 6
+		maxPause = 500 * time.Millisecond
+	)
+	pause := 25 * time.Millisecond
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(pause):
+			}
+			if pause *= 2; pause > maxPause {
+				pause = maxPause
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, baseURL+"/kv/"+key, bytes.NewReader(val))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("kvload: seeding failed (is the server up?): %w", err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 400:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("kvload: seed PUT %s -> %d (server shedding)", key, resp.StatusCode)
+		default:
+			return fmt.Errorf("kvload: seed PUT %s -> %d", key, resp.StatusCode)
+		}
+	}
+	return lastErr
+}
+
 // RunLoad seeds the keyspace (one PUT per key, unmeasured), then drives the
 // configured mix against baseURL for cfg.Duration and reduces the samples.
 func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, error) {
@@ -191,18 +236,8 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, 
 	}
 	for i := 0; i < cfg.Keys; i++ {
 		key := fmt.Sprintf("k%06d", i)
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, baseURL+"/kv/"+key, bytes.NewReader(seedVal))
-		if err != nil {
+		if err := seedPut(ctx, client, baseURL, key, seedVal); err != nil {
 			return nil, err
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, fmt.Errorf("kvload: seeding failed (is the server up?): %w", err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode >= 400 {
-			return nil, fmt.Errorf("kvload: seed PUT %s -> %d", key, resp.StatusCode)
 		}
 	}
 

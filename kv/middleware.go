@@ -57,6 +57,11 @@ type Metrics struct {
 	Panics       atomic.Uint64
 	BytesWritten atomic.Uint64
 	LatencyNs    atomic.Uint64
+	// Sheds counts requests rejected by admission control (503 + Retry-After)
+	// before reaching the engine; DeadlineHits counts admitted requests whose
+	// store operation was abandoned with ErrDeadline.
+	Sheds        atomic.Uint64
+	DeadlineHits atomic.Uint64
 }
 
 // MetricsSnapshot is the JSON form of Metrics.
@@ -67,6 +72,8 @@ type MetricsSnapshot struct {
 	Panics        uint64  `json:"panics"`
 	BytesWritten  uint64  `json:"bytes_written"`
 	MeanLatencyUs float64 `json:"mean_latency_us"`
+	Sheds         uint64  `json:"sheds"`
+	DeadlineHits  uint64  `json:"deadline_hits"`
 }
 
 // Snapshot returns a point-in-time copy.
@@ -77,6 +84,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Errors5xx:    m.Errors5xx.Load(),
 		Panics:       m.Panics.Load(),
 		BytesWritten: m.BytesWritten.Load(),
+		Sheds:        m.Sheds.Load(),
+		DeadlineHits: m.DeadlineHits.Load(),
 	}
 	if s.Requests > 0 {
 		s.MeanLatencyUs = float64(m.LatencyNs.Load()) / float64(s.Requests) / 1e3

@@ -34,6 +34,15 @@ type Server struct {
 	// pipeline exists, nil before (httptest servers never start one).
 	jobsStats func() JobStats
 
+	// admission/governor implement load shedding when configured with
+	// WithAdmissionControl; nil means every request is admitted.
+	admission *AdmissionConfig
+	governor  *Governor
+
+	// reqTimeout caps each data request's store operation via a context
+	// deadline (WithRequestTimeout); 0 means requests run unbounded.
+	reqTimeout time.Duration
+
 	// ShutdownGrace bounds how long Serve waits for in-flight requests after
 	// its context is cancelled. Defaults to 10s.
 	ShutdownGrace time.Duration
@@ -44,6 +53,20 @@ type ServerOption func(*Server)
 
 // WithJobs overrides the background-maintenance pipeline configuration.
 func WithJobs(cfg JobsConfig) ServerOption { return func(sv *Server) { sv.jobs = cfg } }
+
+// WithAdmissionControl enables load shedding: requests the Governor refuses
+// (pool saturation, abort storm) are answered 503 + Retry-After without
+// touching the engine. See AdmissionConfig for the knobs.
+func WithAdmissionControl(cfg AdmissionConfig) ServerOption {
+	return func(sv *Server) { sv.admission = &cfg }
+}
+
+// WithRequestTimeout bounds every data request's store operation with a
+// context deadline; operations that exceed it abandon between retry attempts
+// and answer 503 + Retry-After (ErrDeadline).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(sv *Server) { sv.reqTimeout = d }
+}
 
 // WithRequestLog enables per-request logging through logf (nil = log.Printf).
 func WithRequestLog(logf func(format string, args ...any)) ServerOption {
@@ -74,6 +97,13 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		io.WriteString(w, "ok\n")
 	})
 	mws := []Middleware{WithMetrics(&sv.metrics)}
+	if sv.admission != nil {
+		// Admission sits inside metrics so shed responses are counted like
+		// any other 5xx, and outside logging/recovery — a shed request never
+		// reaches a handler.
+		sv.governor = NewGovernor(store, *sv.admission)
+		mws = append(mws, WithAdmission(sv.governor, &sv.metrics))
+	}
 	if sv.logf != nil {
 		mws = append(mws, WithLogging(sv.logf))
 	}
@@ -126,11 +156,39 @@ func (sv *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return nil
 }
 
+// opCtx derives the store-operation context for a request: the request's own
+// context (cancelled when the client goes away) tightened by the configured
+// per-request timeout.
+func (sv *Server) opCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if sv.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), sv.reqTimeout)
+}
+
+// opError maps a store error onto an HTTP response. ErrDeadline answers 503 +
+// Retry-After — the operation was abandoned, nothing took effect, and the
+// client should retry against a hopefully calmer server.
+func (sv *Server) opError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDeadline):
+		sv.metrics.DeadlineHits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrFull):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
 func (sv *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := []byte(r.PathValue("key"))
-	val, ok, err := sv.store.Get(key)
+	ctx, cancel := sv.opCtx(r)
+	defer cancel()
+	val, ok, err := sv.store.Get(ctx, key)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		sv.opError(w, err)
 		return
 	}
 	if !ok {
@@ -156,20 +214,21 @@ func (sv *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	switch err := sv.store.Put(key, val, ttl); {
-	case err == nil:
-		w.WriteHeader(http.StatusNoContent)
-	case errors.Is(err, ErrFull):
-		http.Error(w, err.Error(), http.StatusInsufficientStorage)
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	ctx, cancel := sv.opCtx(r)
+	defer cancel()
+	if err := sv.store.Put(ctx, key, val, ttl); err != nil {
+		sv.opError(w, err)
+		return
 	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	existed, err := sv.store.Delete([]byte(r.PathValue("key")))
+	ctx, cancel := sv.opCtx(r)
+	defer cancel()
+	existed, err := sv.store.Delete(ctx, []byte(r.PathValue("key")))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		sv.opError(w, err)
 		return
 	}
 	if !existed {
@@ -206,9 +265,11 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pairs, next, err := sv.store.Scan(cursor, limit)
+	ctx, cancel := sv.opCtx(r)
+	defer cancel()
+	pairs, next, err := sv.store.Scan(ctx, cursor, limit)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		sv.opError(w, err)
 		return
 	}
 	if pairs == nil {
@@ -219,10 +280,11 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse aggregates every observable layer of the service.
 type statsResponse struct {
-	Heap  map[string]any  `json:"heap"`
-	Store map[string]any  `json:"store"`
-	Jobs  *JobStats       `json:"jobs,omitempty"`
-	HTTP  MetricsSnapshot `json:"http"`
+	Heap      map[string]any  `json:"heap"`
+	Store     map[string]any  `json:"store"`
+	Jobs      *JobStats       `json:"jobs,omitempty"`
+	HTTP      MetricsSnapshot `json:"http"`
+	Admission map[string]any  `json:"admission,omitempty"`
 }
 
 func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -241,21 +303,31 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"fallback_runs":    hs.FallbackRuns,
 			"fallback_locks":   hs.FallbackLocks,
 			"fallback_retries": hs.FallbackRetries,
+			"fallback_stalls":  hs.FallbackStalls,
+			"spurious_aborts":  hs.SpuriousAborts(),
 			"live_words":       hs.LiveWords,
 			"max_live_words":   hs.MaxLiveWords,
 		},
 		Store: map[string]any{
-			"slots":      sv.store.Slots(),
-			"count":      sv.store.Len(),
-			"tombstones": sv.store.Tombstones(),
-			"gets":       oc.Gets,
-			"puts":       oc.Puts,
-			"deletes":    oc.Deletes,
-			"scans":      oc.Scans,
-			"expired":    oc.Expired,
-			"compacted":  oc.Compacted,
+			"slots":         sv.store.Slots(),
+			"count":         sv.store.Len(),
+			"tombstones":    sv.store.Tombstones(),
+			"gets":          oc.Gets,
+			"puts":          oc.Puts,
+			"deletes":       oc.Deletes,
+			"scans":         oc.Scans,
+			"expired":       oc.Expired,
+			"compacted":     oc.Compacted,
+			"deadline_hits": oc.Deadlines,
+			"in_flight":     sv.store.InFlight(),
 		},
 		HTTP: sv.metrics.Snapshot(),
+	}
+	if sv.governor != nil {
+		resp.Admission = map[string]any{
+			"sheds":    sv.governor.Sheds(),
+			"storming": sv.governor.Storming(),
+		}
 	}
 	if sv.jobsStats != nil {
 		js := sv.jobsStats()

@@ -318,7 +318,7 @@ func TestGracefulShutdown(t *testing.T) {
 	// The engine is still coherent after shutdown: counters match a scan.
 	n := 0
 	for cursor := uint64(0); cursor < store.Slots(); {
-		pairs, next, err := store.Scan(cursor, 1<<20)
+		pairs, next, err := store.Scan(bg, cursor, 1<<20)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,12 @@ type Store struct {
 
 	// Operation counters (monotonic, for /stats and tests).
 	gets, puts, deletes, scans, expired, compacted atomic.Uint64
+
+	// deadlines counts operations abandoned at their context deadline;
+	// inflight is the number of pool contexts currently checked out — the
+	// admission governor's saturation signal.
+	deadlines atomic.Uint64
+	inflight  atomic.Int64
 }
 
 // NewStore builds a Store on a private heap per cfg.
@@ -49,6 +56,8 @@ func NewStore(cfg Config) *Store {
 		EnableTLE:       true,
 		GlobalFallback:  cfg.GlobalFallback,
 		AllowAllocInTxn: false, // entries are pre-allocated, Rock-style
+		MaxRetries:      cfg.MaxRetries,
+		Faults:          cfg.Faults,
 	})
 	s := &Store{
 		cfg:  cfg,
@@ -81,9 +90,67 @@ func (s *Store) PoolSize() int { return s.cfg.PoolThreads }
 // HTTP recovery middleware).
 func (s *Store) withThread(f func(th *htm.Thread)) {
 	th := <-s.pool
-	defer func() { s.pool <- th }()
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.pool <- th
+	}()
 	f(th)
 }
+
+// withThreadCtx is withThread with a context gate: a request whose context is
+// already done — or that expires while queued for a pool slot — is abandoned
+// with ErrDeadline before it touches the engine. Internal paths (jobs,
+// Len/Tombstones) keep using withThread; only the client-facing operations
+// carry deadlines.
+func (s *Store) withThreadCtx(ctx context.Context, f func(th *htm.Thread)) error {
+	done := ctx.Done()
+	if done == nil {
+		s.withThread(f)
+		return nil
+	}
+	// Check before the select: a free pool slot must not win the race against
+	// an already-dead context.
+	if ctx.Err() != nil {
+		return s.deadlineErr(ctx)
+	}
+	var th *htm.Thread
+	select {
+	case th = <-s.pool:
+	case <-done:
+		return s.deadlineErr(ctx)
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.pool <- th
+	}()
+	f(th)
+	return nil
+}
+
+// stopFor converts a context into an AtomicUntil abandon hook: nil for
+// never-cancellable contexts so the common Background case adds nothing to
+// the retry loop.
+func stopFor(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// deadlineErr records and materializes an ErrDeadline for an operation whose
+// retry loop was abandoned mid-flight.
+func (s *Store) deadlineErr(ctx context.Context) error {
+	s.deadlines.Add(1)
+	return fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+}
+
+// InFlight returns the number of operations currently holding a pool context.
+func (s *Store) InFlight() int { return int(s.inflight.Load()) }
+
+// DeadlineHits returns the number of operations abandoned at their deadline.
+func (s *Store) DeadlineHits() uint64 { return s.deadlines.Load() }
 
 // loadKeyEq reports whether the entry block at e holds key (hash already
 // matched). Runs inside the transaction: the key words it loads join the
@@ -153,16 +220,19 @@ func expired(deadline uint64, now int64) bool {
 // Get returns a copy of the value stored under key. Expired entries read as
 // missing (their storage is reclaimed by the background expiry job). The
 // whole lookup — probe, key compare, value copy — is one transaction, so the
-// returned value is an atomic snapshot of a committed Put.
-func (s *Store) Get(key []byte) (val []byte, ok bool, err error) {
+// returned value is an atomic snapshot of a committed Put. The context bounds
+// the whole operation: pool-slot wait and transaction retries both abandon
+// with ErrDeadline when it expires.
+func (s *Store) Get(ctx context.Context, key []byte) (val []byte, ok bool, err error) {
 	if err := s.validateKey(key); err != nil {
 		return nil, false, err
 	}
 	hash := hashKey(key)
 	now := s.cfg.Now()
 	s.gets.Add(1)
-	s.withThread(func(th *htm.Thread) {
-		th.Atomic(func(t *htm.Txn) {
+	var opErr error
+	err = s.withThreadCtx(ctx, func(th *htm.Thread) {
+		committed := th.AtomicUntil(func(t *htm.Txn) {
 			val, ok = val[:0], false // restartable body: reset on every attempt
 			_, e, found, _ := s.probe(t, hash, key)
 			if !found {
@@ -182,10 +252,16 @@ func (s *Store) Get(key []byte) (val []byte, ok bool, err error) {
 				val = unpackWord(val, t.Load(e+voff+htm.Addr(i)), n)
 			}
 			ok = true
-		})
+		}, stopFor(ctx))
+		if !committed {
+			opErr = s.deadlineErr(ctx)
+		}
 	})
-	if !ok {
-		return nil, false, nil
+	if err == nil {
+		err = opErr
+	}
+	if err != nil || !ok {
+		return nil, false, err
 	}
 	return val, true, nil
 }
@@ -196,7 +272,7 @@ func (s *Store) Get(key []byte) (val []byte, ok bool, err error) {
 // publishes it commits, the same discipline as the paper's queue nodes — so
 // the transaction itself writes at most three words (slot + two counters)
 // and fits any store buffer.
-func (s *Store) Put(key, val []byte, ttl time.Duration) error {
+func (s *Store) Put(ctx context.Context, key, val []byte, ttl time.Duration) error {
 	if err := s.validateKey(key); err != nil {
 		return err
 	}
@@ -210,10 +286,10 @@ func (s *Store) Put(key, val []byte, ttl time.Duration) error {
 	}
 	s.puts.Add(1)
 	var opErr error
-	s.withThread(func(th *htm.Thread) {
+	err := s.withThreadCtx(ctx, func(th *htm.Thread) {
 		e := s.fillEntry(th, hash, key, val, deadline)
 		published := false
-		th.Atomic(func(t *htm.Txn) {
+		committed := th.AtomicUntil(func(t *htm.Txn) {
 			opErr, published = nil, false
 			slot, old, found, insert := s.probe(t, hash, key)
 			if found {
@@ -239,11 +315,17 @@ func (s *Store) Put(key, val []byte, ttl time.Duration) error {
 				t.Store(s.dir+dirTombstones, tombs-1)
 			}
 			published = true
-		})
+		}, stopFor(ctx))
+		if !committed {
+			opErr = s.deadlineErr(ctx)
+		}
 		if !published {
-			th.Free(e) // rejected: reclaim the staged entry
+			th.Free(e) // rejected or abandoned: reclaim the staged entry
 		}
 	})
+	if err != nil {
+		return err
+	}
 	return opErr
 }
 
@@ -270,7 +352,7 @@ func (s *Store) fillEntry(th *htm.Thread, hash uint64, key, val []byte, deadline
 // slot becomes a tombstone — probes must keep running through it — and the
 // entry block is freed the instant the transaction commits; the background
 // compaction job later reclaims the slot itself.
-func (s *Store) Delete(key []byte) (bool, error) {
+func (s *Store) Delete(ctx context.Context, key []byte) (bool, error) {
 	if err := s.validateKey(key); err != nil {
 		return false, err
 	}
@@ -278,8 +360,9 @@ func (s *Store) Delete(key []byte) (bool, error) {
 	now := s.cfg.Now()
 	s.deletes.Add(1)
 	var existed bool
-	s.withThread(func(th *htm.Thread) {
-		th.Atomic(func(t *htm.Txn) {
+	var opErr error
+	err := s.withThreadCtx(ctx, func(th *htm.Thread) {
+		committed := th.AtomicUntil(func(t *htm.Txn) {
 			existed = false
 			slot, e, found, _ := s.probe(t, hash, key)
 			if !found {
@@ -290,8 +373,17 @@ func (s *Store) Delete(key []byte) (bool, error) {
 			t.Store(s.dir+dirCount, t.Load(s.dir+dirCount)-1)
 			t.Store(s.dir+dirTombstones, t.Load(s.dir+dirTombstones)+1)
 			t.FreeOnCommit(e)
-		})
+		}, stopFor(ctx))
+		if !committed {
+			opErr = s.deadlineErr(ctx)
+		}
 	})
+	if err == nil {
+		err = opErr
+	}
+	if err != nil {
+		return false, err
+	}
 	return existed, nil
 }
 
@@ -311,7 +403,7 @@ const scanSlotWindow = 2048
 // call is ONE transaction: the returned page is an atomic snapshot of the
 // slots it covered (entries may move under concurrent writes between pages —
 // the usual cursor-scan contract).
-func (s *Store) Scan(cursor uint64, limit int) (pairs []Pair, next uint64, err error) {
+func (s *Store) Scan(ctx context.Context, cursor uint64, limit int) (pairs []Pair, next uint64, err error) {
 	if limit <= 0 {
 		limit = 64
 	}
@@ -325,8 +417,9 @@ func (s *Store) Scan(cursor uint64, limit int) (pairs []Pair, next uint64, err e
 	}
 	now := s.cfg.Now()
 	s.scans.Add(1)
-	s.withThread(func(th *htm.Thread) {
-		th.Atomic(func(t *htm.Txn) {
+	var opErr error
+	err = s.withThreadCtx(ctx, func(th *htm.Thread) {
+		committed := th.AtomicUntil(func(t *htm.Txn) {
 			pairs, next = pairs[:0], end // restartable body
 			for i := cursor; i < end; i++ {
 				if len(pairs) >= limit {
@@ -361,8 +454,17 @@ func (s *Store) Scan(cursor uint64, limit int) (pairs []Pair, next uint64, err e
 				}
 				pairs = append(pairs, p)
 			}
-		})
+		}, stopFor(ctx))
+		if !committed {
+			opErr = s.deadlineErr(ctx)
+		}
 	})
+	if err == nil {
+		err = opErr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
 	return pairs, next, nil
 }
 
@@ -475,6 +577,7 @@ func (s *Store) CompactRange(lo, hi uint64) int {
 type Counters struct {
 	Gets, Puts, Deletes, Scans uint64
 	Expired, Compacted         uint64
+	Deadlines                  uint64
 }
 
 // OpCounters returns a snapshot of cumulative operation counts.
@@ -486,5 +589,6 @@ func (s *Store) OpCounters() Counters {
 		Scans:     s.scans.Load(),
 		Expired:   s.expired.Load(),
 		Compacted: s.compacted.Load(),
+		Deadlines: s.deadlines.Load(),
 	}
 }

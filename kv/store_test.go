@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,9 @@ import (
 	"testing"
 	"time"
 )
+
+// bg is the context every non-deadline test op runs under.
+var bg = context.Background()
 
 // testStore builds a small store with a controllable clock.
 func testStore(t *testing.T, cfg Config, now *atomic.Int64) *Store {
@@ -24,13 +28,13 @@ func TestPutGetDelete(t *testing.T) {
 	key := []byte("hello")
 	val := []byte("world, of arbitrary length \x00\xff bytes")
 
-	if _, ok, _ := s.Get(key); ok {
+	if _, ok, _ := s.Get(bg, key); ok {
 		t.Fatal("get before put should miss")
 	}
-	if err := s.Put(key, val, 0); err != nil {
+	if err := s.Put(bg, key, val, 0); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	got, ok, err := s.Get(key)
+	got, ok, err := s.Get(bg, key)
 	if err != nil || !ok {
 		t.Fatalf("get: ok=%v err=%v", ok, err)
 	}
@@ -43,10 +47,10 @@ func TestPutGetDelete(t *testing.T) {
 
 	// Replace: old entry's storage is freed on commit.
 	val2 := []byte("replacement")
-	if err := s.Put(key, val2, 0); err != nil {
+	if err := s.Put(bg, key, val2, 0); err != nil {
 		t.Fatalf("replace: %v", err)
 	}
-	got, _, _ = s.Get(key)
+	got, _, _ = s.Get(bg, key)
 	if !bytes.Equal(got, val2) {
 		t.Fatalf("after replace: got %q want %q", got, val2)
 	}
@@ -54,14 +58,14 @@ func TestPutGetDelete(t *testing.T) {
 		t.Fatalf("len after replace: got %d want 1", n)
 	}
 
-	existed, err := s.Delete(key)
+	existed, err := s.Delete(bg, key)
 	if err != nil || !existed {
 		t.Fatalf("delete: existed=%v err=%v", existed, err)
 	}
-	if _, ok, _ := s.Get(key); ok {
+	if _, ok, _ := s.Get(bg, key); ok {
 		t.Fatal("get after delete should miss")
 	}
-	if existed, _ := s.Delete(key); existed {
+	if existed, _ := s.Delete(bg, key); existed {
 		t.Fatal("second delete should report missing")
 	}
 	if n := s.Len(); n != 0 {
@@ -74,13 +78,13 @@ func TestPutGetDelete(t *testing.T) {
 
 func TestEmptyAndOversized(t *testing.T) {
 	s := NewStore(Config{Slots: 64, MaxKeyBytes: 8, MaxValueBytes: 16})
-	if err := s.Put(nil, []byte("v"), 0); !errors.Is(err, ErrEmptyKey) {
+	if err := s.Put(bg, nil, []byte("v"), 0); !errors.Is(err, ErrEmptyKey) {
 		t.Fatalf("empty key: %v", err)
 	}
-	if err := s.Put([]byte("123456789"), []byte("v"), 0); !errors.Is(err, ErrKeyTooLarge) {
+	if err := s.Put(bg, []byte("123456789"), []byte("v"), 0); !errors.Is(err, ErrKeyTooLarge) {
 		t.Fatalf("big key: %v", err)
 	}
-	if err := s.Put([]byte("k"), bytes.Repeat([]byte("v"), 17), 0); !errors.Is(err, ErrValueTooLarge) {
+	if err := s.Put(bg, []byte("k"), bytes.Repeat([]byte("v"), 17), 0); !errors.Is(err, ErrValueTooLarge) {
 		t.Fatalf("big value: %v", err)
 	}
 }
@@ -91,19 +95,19 @@ func TestValueSizesRoundTrip(t *testing.T) {
 	for n := 0; n <= 17; n++ {
 		key := []byte(fmt.Sprintf("key-%d", n))
 		val := bytes.Repeat([]byte{byte(n + 1)}, n)
-		if err := s.Put(key, val, 0); err != nil {
+		if err := s.Put(bg, key, val, 0); err != nil {
 			t.Fatalf("put %d: %v", n, err)
 		}
-		got, ok, _ := s.Get(key)
+		got, ok, _ := s.Get(bg, key)
 		if !ok || !bytes.Equal(got, val) {
 			t.Fatalf("roundtrip %d bytes: ok=%v got=%q", n, ok, got)
 		}
 	}
 	jumbo := bytes.Repeat([]byte("x0123456"), 512/8) // 512B
-	if err := s.Put([]byte("jumbo"), jumbo, 0); err != nil {
+	if err := s.Put(bg, []byte("jumbo"), jumbo, 0); err != nil {
 		t.Fatalf("jumbo put: %v", err)
 	}
-	if got, ok, _ := s.Get([]byte("jumbo")); !ok || !bytes.Equal(got, jumbo) {
+	if got, ok, _ := s.Get(bg, []byte("jumbo")); !ok || !bytes.Equal(got, jumbo) {
 		t.Fatal("jumbo roundtrip failed")
 	}
 }
@@ -116,35 +120,35 @@ func TestTombstoneReuseAndProbeThrough(t *testing.T) {
 	keys := make([][]byte, 8)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("cluster-%d", i))
-		if err := s.Put(keys[i], []byte{byte(i)}, 0); err != nil {
+		if err := s.Put(bg, keys[i], []byte{byte(i)}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Delete(keys[3]); err != nil {
+	if _, err := s.Delete(bg, keys[3]); err != nil {
 		t.Fatal(err)
 	}
 	for i, k := range keys {
 		if i == 3 {
 			continue
 		}
-		if _, ok, _ := s.Get(k); !ok {
+		if _, ok, _ := s.Get(bg, k); !ok {
 			t.Fatalf("key %d unreachable after middle delete", i)
 		}
 	}
 	tombs := s.Tombstones()
-	if err := s.Put([]byte("newcomer"), []byte("n"), 0); err != nil {
+	if err := s.Put(bg, []byte("newcomer"), []byte("n"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// The newcomer may or may not land on the tombstone depending on its
 	// hash; putting keys[3] back MUST reuse its own tombstone if it is still
 	// there. Either way tombstones never grow from a Put.
-	if err := s.Put(keys[3], []byte("back"), 0); err != nil {
+	if err := s.Put(bg, keys[3], []byte("back"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Tombstones(); got > tombs {
 		t.Fatalf("tombstones grew across Puts: %d -> %d", tombs, got)
 	}
-	if v, ok, _ := s.Get(keys[3]); !ok || !bytes.Equal(v, []byte("back")) {
+	if v, ok, _ := s.Get(bg, keys[3]); !ok || !bytes.Equal(v, []byte("back")) {
 		t.Fatal("reinserted key unreadable")
 	}
 }
@@ -154,7 +158,7 @@ func TestFull(t *testing.T) {
 	var err error
 	n := 0
 	for ; n < 16; n++ {
-		err = s.Put([]byte(fmt.Sprintf("k%d", n)), []byte("v"), 0)
+		err = s.Put(bg, []byte(fmt.Sprintf("k%d", n)), []byte("v"), 0)
 		if err != nil {
 			break
 		}
@@ -168,7 +172,7 @@ func TestFull(t *testing.T) {
 	// Deleting does not immediately recover capacity (tombstones count
 	// toward the ceiling until compacted) but replacing an existing key
 	// always works.
-	if err := s.Put([]byte("k0"), []byte("v2"), 0); err != nil {
+	if err := s.Put(bg, []byte("k0"), []byte("v2"), 0); err != nil {
 		t.Fatalf("replace at full: %v", err)
 	}
 }
@@ -177,20 +181,20 @@ func TestExpiry(t *testing.T) {
 	var now atomic.Int64
 	now.Store(1_000_000)
 	s := testStore(t, Config{Slots: 256}, &now)
-	if err := s.Put([]byte("ttl"), []byte("v"), 100); err != nil { // deadline 1_000_100
+	if err := s.Put(bg, []byte("ttl"), []byte("v"), 100); err != nil { // deadline 1_000_100
 		t.Fatal(err)
 	}
-	if err := s.Put([]byte("forever"), []byte("v"), 0); err != nil {
+	if err := s.Put(bg, []byte("forever"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get([]byte("ttl")); !ok {
+	if _, ok, _ := s.Get(bg, []byte("ttl")); !ok {
 		t.Fatal("unexpired key should read")
 	}
 	now.Store(1_000_100)
-	if _, ok, _ := s.Get([]byte("ttl")); ok {
+	if _, ok, _ := s.Get(bg, []byte("ttl")); ok {
 		t.Fatal("expired key should miss")
 	}
-	if _, ok, _ := s.Get([]byte("forever")); !ok {
+	if _, ok, _ := s.Get(bg, []byte("forever")); !ok {
 		t.Fatal("no-ttl key must not expire")
 	}
 	// The lazy miss does not reclaim; the sweep does.
@@ -204,7 +208,7 @@ func TestExpiry(t *testing.T) {
 		t.Fatalf("len after sweep: %d", n)
 	}
 	// Expired and swept: a fresh Put of the key works.
-	if err := s.Put([]byte("ttl"), []byte("v2"), 0); err != nil {
+	if err := s.Put(bg, []byte("ttl"), []byte("v2"), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -212,12 +216,12 @@ func TestExpiry(t *testing.T) {
 func TestCompaction(t *testing.T) {
 	s := NewStore(Config{Slots: 64})
 	for i := 0; i < 20; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"), 0); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("k%d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 20; i++ {
-		if _, err := s.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+		if _, err := s.Delete(bg, []byte(fmt.Sprintf("k%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -235,7 +239,7 @@ func TestCompaction(t *testing.T) {
 	}
 	// The index is usable and empty.
 	for i := 0; i < 20; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("r%d", i)), []byte("v"), 0); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("r%d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -249,19 +253,19 @@ func TestCompactionKeepsProbeChains(t *testing.T) {
 	// and the keys behind it must stay reachable afterward.
 	s := NewStore(Config{Slots: 64})
 	for i := 0; i < 10; i++ {
-		if err := s.Put([]byte(fmt.Sprintf("c%d", i)), []byte{byte(i)}, 0); err != nil {
+		if err := s.Put(bg, []byte(fmt.Sprintf("c%d", i)), []byte{byte(i)}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := s.Delete([]byte(fmt.Sprintf("c%d", i*2))); err != nil {
+		if _, err := s.Delete(bg, []byte(fmt.Sprintf("c%d", i*2))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	s.CompactRange(0, s.Slots())
 	for i := 0; i < 5; i++ {
 		k := []byte(fmt.Sprintf("c%d", i*2+1))
-		if _, ok, _ := s.Get(k); !ok {
+		if _, ok, _ := s.Get(bg, k); !ok {
 			t.Fatalf("key %s lost after compaction", k)
 		}
 	}
@@ -273,7 +277,7 @@ func TestScan(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		k, v := fmt.Sprintf("scan-%02d", i), fmt.Sprintf("val-%d", i)
 		want[k] = v
-		if err := s.Put([]byte(k), []byte(v), 0); err != nil {
+		if err := s.Put(bg, []byte(k), []byte(v), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -281,7 +285,7 @@ func TestScan(t *testing.T) {
 	var cursor uint64
 	pages := 0
 	for cursor < s.Slots() {
-		pairs, next, err := s.Scan(cursor, 7)
+		pairs, next, err := s.Scan(bg, cursor, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,22 +339,22 @@ func TestConcurrentMixedOps(t *testing.T) {
 				switch next(10) {
 				case 0, 1, 2:
 					val := append([]byte("tag:"), k...)
-					if err := s.Put(k, val, 0); err != nil && !errors.Is(err, ErrFull) {
+					if err := s.Put(bg, k, val, 0); err != nil && !errors.Is(err, ErrFull) {
 						errc <- err
 						return
 					}
 				case 3:
-					if _, err := s.Delete(k); err != nil {
+					if _, err := s.Delete(bg, k); err != nil {
 						errc <- err
 						return
 					}
 				case 4:
-					if _, _, err := s.Scan(uint64(next(int(s.Slots()))), 16); err != nil {
+					if _, _, err := s.Scan(bg, uint64(next(int(s.Slots()))), 16); err != nil {
 						errc <- err
 						return
 					}
 				default:
-					v, ok, err := s.Get(k)
+					v, ok, err := s.Get(bg, k)
 					if err != nil {
 						errc <- err
 						return
@@ -371,7 +375,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 	// The engine stayed coherent: counters match a full scan.
 	n := 0
 	for cursor := uint64(0); cursor < s.Slots(); {
-		pairs, next, _ := s.Scan(cursor, 1<<20)
+		pairs, next, _ := s.Scan(bg, cursor, 1<<20)
 		n += len(pairs)
 		cursor = next
 	}
@@ -399,8 +403,8 @@ func TestConcurrentSameKey(t *testing.T) {
 			val := []byte(fmt.Sprintf("writer-%d", g))
 			for i := 0; i < 300; i++ {
 				if g%2 == 0 {
-					s.Put(key, val, 0)
-				} else if v, ok, _ := s.Get(key); ok && !legal(v) {
+					s.Put(bg, key, val, 0)
+				} else if v, ok, _ := s.Get(bg, key); ok && !legal(v) {
 					select {
 					case bad <- v:
 					default:
@@ -424,13 +428,13 @@ func TestHeapReclamation(t *testing.T) {
 	s := NewStore(Config{Slots: 256})
 	val := bytes.Repeat([]byte("x"), 64)
 	for i := 0; i < 50; i++ {
-		if err := s.Put([]byte("churn"), val, 0); err != nil {
+		if err := s.Put(bg, []byte("churn"), val, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	after := s.Heap().Stats().LiveWords
 	for i := 0; i < 500; i++ {
-		if err := s.Put([]byte("churn"), val, 0); err != nil {
+		if err := s.Put(bg, []byte("churn"), val, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -438,7 +442,7 @@ func TestHeapReclamation(t *testing.T) {
 	if end != after {
 		t.Fatalf("live words grew under replace churn: %d -> %d", after, end)
 	}
-	if _, err := s.Delete([]byte("churn")); err != nil {
+	if _, err := s.Delete(bg, []byte("churn")); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Heap().Stats().LiveWords; got >= end {
@@ -448,12 +452,12 @@ func TestHeapReclamation(t *testing.T) {
 
 func TestExpiryUsesRealClockByDefault(t *testing.T) {
 	s := NewStore(Config{Slots: 64})
-	if err := s.Put([]byte("blink"), []byte("v"), time.Millisecond); err != nil {
+	if err := s.Put(bg, []byte("blink"), []byte("v"), time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
 	for time.Now().Before(deadline) {
-		if _, ok, _ := s.Get([]byte("blink")); !ok {
+		if _, ok, _ := s.Get(bg, []byte("blink")); !ok {
 			return // expired, as it should
 		}
 		time.Sleep(5 * time.Millisecond)

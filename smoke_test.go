@@ -59,9 +59,12 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		"./cmd/experiments":      {"-quick", "-duration", "10ms"},
 		"./cmd/kvserver":         {"-help"},
 		"./cmd/kvload":           {"-help"},
+		// A real (tiny) chaos run: deterministic shadow-model phase plus the
+		// overload sweep, exit 0 = model, sweep and determinism checks passed.
+		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4"},
 		// Self-diff of the committed snapshot: must exit 0 (no regressions,
 		// no shrunken coverage).
-		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR6.json", "BENCH_PR6.json"},
+		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR7.json", "BENCH_PR7.json"},
 	}
 
 	pkgs := discoverPackages(t, "cmd", "examples")
@@ -93,6 +96,7 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 	chain := [][2]string{
 		{"BENCH_PR4.json", "BENCH_PR5.json"},
 		{"BENCH_PR5.json", "BENCH_PR6.json"},
+		{"BENCH_PR6.json", "BENCH_PR7.json"},
 	}
 	for _, link := range chain {
 		link := link
