@@ -14,15 +14,27 @@
 //	         [-admission] [-req-timeout 0] [-max-retries 0]
 //	         [-fault-seed 1] [-fault-begin P] [-fault-access P]
 //	         [-fault-commit P] [-fault-stall P]
+//	         [-wal-dir DIR] [-fsync=true] [-snapshot-every N]
+//	         [-segment-bytes N]
 //
 // The -fault-* flags attach a seeded injection plan (htm.FaultPlan) to the
 // heap — the chaos knobs, usable against a live server; -admission turns on
 // load shedding (503 + Retry-After under pool saturation or abort storms)
 // and -req-timeout bounds each request's store operation.
+//
+// -wal-dir turns on durability: acknowledged mutations are written to a
+// CRC-framed commit log before the response goes out, snapshots truncate old
+// history every -snapshot-every mutations, and startup replays the directory
+// (logging whether the previous shutdown was clean). A torn log tail is
+// repaired by truncation; unrecoverable state — mid-log corruption, missing
+// segments — is reported with the file and offset and the process exits 3
+// rather than serve data it cannot trust (move the directory aside, or
+// restore it, to start fresh).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +46,7 @@ import (
 
 	"repro/htm"
 	"repro/kv"
+	"repro/kv/wal"
 	"repro/queue"
 )
 
@@ -60,6 +73,10 @@ func run() int {
 	faultAccess := flag.Float64("fault-access", 0, "probability of a spurious abort per transactional access")
 	faultCommit := flag.Float64("fault-commit", 0, "probability of a spurious abort at commit-point")
 	faultStall := flag.Float64("fault-stall", 0, "probability a fallback run stalls while holding its lock-set")
+	walDir := flag.String("wal-dir", "", "durability directory for the commit log and snapshots (empty = in-memory only)")
+	fsync := flag.Bool("fsync", true, "fsync each commit-log batch (false trades durability for throughput)")
+	snapshotEvery := flag.Int("snapshot-every", 4096, "mutations between automatic snapshots (0 = never snapshot)")
+	segmentBytes := flag.Int("segment-bytes", 0, "commit-log segment rotation threshold in bytes (0 = default 4 MiB)")
 	flag.Parse()
 
 	newQueue, err := queueFactory(*jobQueue)
@@ -79,7 +96,7 @@ func run() int {
 			MaxPerOp:   64, // a live server must keep terminating under any dial setting
 		}
 	}
-	store := kv.NewStore(kv.Config{
+	cfg := kv.Config{
 		Slots:          *slots,
 		HeapWords:      *heapWords,
 		MaxValueBytes:  *maxValue,
@@ -87,7 +104,38 @@ func run() int {
 		GlobalFallback: *globalFallback,
 		MaxRetries:     *maxRetries,
 		Faults:         plan,
-	})
+	}
+	if *walDir != "" {
+		cfg.Durability = &kv.Durability{
+			Dir:           *walDir,
+			SegmentBytes:  *segmentBytes,
+			NoSync:        !*fsync,
+			SnapshotEvery: *snapshotEvery,
+		}
+	}
+	store, err := kv.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
+		if errors.Is(err, wal.ErrRecovery) {
+			fmt.Fprintf(os.Stderr, "kvserver: the log in %s is unrecoverable; refusing to serve state that may be wrong.\n"+
+				"kvserver: move the directory aside (or restore it from a copy) and restart to begin empty.\n", *walDir)
+			return 3
+		}
+		return 1
+	}
+	if ri := store.Recovery(); ri != nil {
+		mode := "crash recovery"
+		if ri.Clean {
+			mode = "clean start"
+		}
+		log.Printf("kvserver: %s from %s: %d entries (snapshot=%d log=%d applied=%d segments=%d seq=%d) in %s",
+			mode, *walDir, ri.Entries, ri.SnapshotEntries, ri.LogRecords, ri.Applied, ri.Segments, ri.MaxSeq,
+			ri.Elapsed.Round(time.Microsecond))
+		if ri.TruncatedBytes > 0 {
+			log.Printf("kvserver: truncated %d-byte torn tail from %s (crash mid-write; unacknowledged data discarded)",
+				ri.TruncatedBytes, ri.TornSegment)
+		}
+	}
 	opts := []kv.ServerOption{kv.WithJobs(kv.JobsConfig{
 		Interval: *sweep,
 		Workers:  *jobWorkers,
@@ -113,8 +161,8 @@ func run() int {
 	// wiring or anything else that could delay (or, failing, suppress) the
 	// line. Supervisors and the CI e2e script treat it as the readiness
 	// signal, and with -addr :0 it is the only way to learn the chosen port.
-	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s faults=%v)",
-		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue, plan != nil)
+	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s faults=%v durable=%v)",
+		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue, plan != nil, store.Durable())
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := srv.Serve(ctx, ln); err != nil {

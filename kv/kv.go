@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/htm"
+	"repro/kv/wal"
 )
 
 // Tuning limits. Key and value sizes are bounded so a single operation's
@@ -63,6 +64,10 @@ var (
 	// execution context, or between transaction retry attempts. An operation
 	// that returns ErrDeadline definitely did not take effect.
 	ErrDeadline = errors.New("kv: operation abandoned at deadline")
+	// ErrDurability reports that a mutation committed to the in-memory heap
+	// but could NOT be made durable (the commit log failed). The caller must
+	// treat the operation as failed: it may or may not survive a crash.
+	ErrDurability = errors.New("kv: durability write failed")
 )
 
 // Config parameterizes a Store. The zero value selects the defaults above on
@@ -102,9 +107,44 @@ type Config struct {
 	// nothing.
 	Faults *htm.FaultPlan
 
+	// Durability, when non-nil, attaches a write-ahead commit log and
+	// snapshotting to the store: every acknowledged PUT/DELETE is CRC-framed
+	// into the log (group-commit fsync) before the call returns, and
+	// startup replays snapshot-then-log. A store with Durability set must be
+	// built with Open (recovery can fail); NewStore panics on it.
+	Durability *Durability
+
 	// Now overrides the expiry clock (tests). Defaults to time.Now-based
 	// unix nanoseconds.
 	Now func() int64
+}
+
+// Durability parameterizes the WAL + snapshot subsystem (package kv/wal).
+type Durability struct {
+	// Dir is the log directory (segments, snapshots, clean marker).
+	Dir string
+	// FS overrides the filesystem (tests inject wal.MemFS/wal.FaultFS);
+	// nil selects the real one.
+	FS wal.FS
+	// SegmentBytes is the log rotation threshold (default 4 MiB).
+	SegmentBytes int
+	// NoSync skips per-batch fsync: throughput mode, durability off.
+	NoSync bool
+	// SnapshotEvery triggers an automatic snapshot (and old-segment
+	// truncation) after that many acknowledged mutations; 0 disables
+	// automatic snapshots (Store.Snapshot still works).
+	SnapshotEvery int
+}
+
+func (d *Durability) withDefaults() *Durability {
+	out := *d
+	if out.FS == nil {
+		out.FS = wal.OSFS{}
+	}
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 4 << 20
+	}
+	return &out
 }
 
 func (c Config) withDefaults() Config {
@@ -210,11 +250,19 @@ func unpackWord(dst []byte, w uint64, n int) []byte {
 //	word 0: key hash (FNV-1a 64)
 //	word 1: key length in bytes << 32 | value length in bytes
 //	word 2: expiry deadline, unix nanoseconds (0 = never expires)
-//	word 3 ... : key bytes packed LE, then value bytes packed LE
+//	word 3: durability sequence number (0 when the store has no WAL)
+//	word 4 ... : key bytes packed LE, then value bytes packed LE
+//
+// The sequence number is the store-wide mutation order: ticked inside the
+// publishing transaction, logged with the entry's WAL record, and snapshotted
+// with the entry, it is what lets recovery merge a snapshot taken during
+// writes with the log records around it (see DESIGN.md "Durability &
+// recovery" for the replay rule).
 const (
 	entryHash = iota
 	entryLens
 	entryExpiry
+	entrySeq
 	entryHdrWords
 )
 

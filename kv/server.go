@@ -153,6 +153,13 @@ func (sv *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Handlers are drained and the pipeline stops on return: seal the store's
+	// durable state (flush the commit log, write the clean-shutdown marker).
+	// Idempotent and a no-op without durability, so restarting Serve on a
+	// purely in-memory store keeps working.
+	if err := sv.store.Close(); err != nil {
+		return fmt.Errorf("kv: close store: %w", err)
+	}
 	return nil
 }
 
@@ -177,6 +184,10 @@ func (sv *Server) opError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrFull):
 		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	case errors.Is(err, ErrDurability):
+		// The mutation committed in memory but could not be made durable;
+		// the client must treat it as failed.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
@@ -285,6 +296,7 @@ type statsResponse struct {
 	Jobs      *JobStats       `json:"jobs,omitempty"`
 	HTTP      MetricsSnapshot `json:"http"`
 	Admission map[string]any  `json:"admission,omitempty"`
+	Wal       map[string]any  `json:"wal,omitempty"`
 }
 
 func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -327,6 +339,19 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Admission = map[string]any{
 			"sheds":    sv.governor.Sheds(),
 			"storming": sv.governor.Storming(),
+		}
+	}
+	if ws, ok := sv.store.WalStats(); ok {
+		resp.Wal = map[string]any{
+			"appends":   ws.Appends,
+			"batches":   ws.Batches,
+			"syncs":     ws.Syncs,
+			"rotations": ws.Rotations,
+			"bytes":     ws.Bytes,
+			"snapshots": sv.store.Snapshots(),
+			"failures":  sv.store.DurabilityFailures(),
+			"seq":       sv.store.Seq(),
+			"recovery":  sv.store.Recovery(),
 		}
 	}
 	if sv.jobsStats != nil {

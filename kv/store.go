@@ -3,10 +3,12 @@ package kv
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/htm"
+	"repro/kv/wal"
 )
 
 // Index slot markers. Slot words hold the payload address of the entry block;
@@ -25,6 +27,7 @@ const (
 const (
 	dirCount      = iota // live entries
 	dirTombstones        // tombstoned slots awaiting compaction
+	dirSeq               // durability sequence: ticked by every logged mutation
 	dirWords
 )
 
@@ -46,10 +49,38 @@ type Store struct {
 	// admission governor's saturation signal.
 	deadlines atomic.Uint64
 	inflight  atomic.Int64
+
+	// Durability state (nil/zero for a purely in-memory store). wal is the
+	// commit log every acknowledged mutation is framed into; dcfg the
+	// defaulted Durability config; recovery what startup replay found.
+	wal      *wal.Log
+	dcfg     *Durability
+	recovery *RecoveryInfo
+
+	// sinceSnap counts acknowledged mutations since the last snapshot;
+	// snapBusy single-flights automatic snapshots; snapWG lets Close wait
+	// out an in-flight one. walFails counts mutations that committed in
+	// memory but failed to reach the log (returned ErrDurability).
+	sinceSnap atomic.Uint64
+	snapBusy  atomic.Bool
+	snapWG    sync.WaitGroup
+	walFails  atomic.Uint64
+	snaps     atomic.Uint64
+	closed    atomic.Bool
 }
 
-// NewStore builds a Store on a private heap per cfg.
+// NewStore builds a purely in-memory Store on a private heap per cfg. A
+// config with Durability set must go through Open instead — recovery can
+// fail, and NewStore has no error to return it through.
 func NewStore(cfg Config) *Store {
+	if cfg.Durability != nil {
+		panic("kv: NewStore cannot attach durability; use kv.Open")
+	}
+	return newStoreCore(cfg)
+}
+
+// newStoreCore builds the heap-backed engine without any durability wiring.
+func newStoreCore(cfg Config) *Store {
 	cfg = cfg.withDefaults()
 	h := htm.NewHeap(htm.Config{
 		Words:           cfg.HeapWords,
@@ -270,8 +301,9 @@ func (s *Store) Get(ctx context.Context, key []byte) (val []byte, ok bool, err e
 // entry's lifetime (0 = no expiry). The entry block is allocated and filled
 // outside the transaction — it is private until the slot write that
 // publishes it commits, the same discipline as the paper's queue nodes — so
-// the transaction itself writes at most three words (slot + two counters)
-// and fits any store buffer.
+// the transaction itself writes at most three words (slot + two counters;
+// five with durability, adding the sequence stamps) and fits any store
+// buffer.
 func (s *Store) Put(ctx context.Context, key, val []byte, ttl time.Duration) error {
 	if err := s.validateKey(key); err != nil {
 		return err
@@ -285,16 +317,19 @@ func (s *Store) Put(ctx context.Context, key, val []byte, ttl time.Duration) err
 		deadline = uint64(s.cfg.Now() + int64(ttl))
 	}
 	s.puts.Add(1)
+	durable := s.wal != nil
 	var opErr error
 	err := s.withThreadCtx(ctx, func(th *htm.Thread) {
 		e := s.fillEntry(th, hash, key, val, deadline)
 		published := false
+		var seq uint64
 		committed := th.AtomicUntil(func(t *htm.Txn) {
 			opErr, published = nil, false
 			slot, old, found, insert := s.probe(t, hash, key)
 			if found {
 				t.Store(s.table+htm.Addr(slot), uint64(e))
 				t.FreeOnCommit(old)
+				seq = s.tickSeq(t, e, durable)
 				published = true
 				return
 			}
@@ -314,19 +349,55 @@ func (s *Store) Put(ctx context.Context, key, val []byte, ttl time.Duration) err
 			if reusing {
 				t.Store(s.dir+dirTombstones, tombs-1)
 			}
+			seq = s.tickSeq(t, e, durable)
 			published = true
 		}, stopFor(ctx))
 		if !committed {
+			// An aborted final attempt may have left published=true from its
+			// sandboxed run; nothing actually landed.
+			published = false
 			opErr = s.deadlineErr(ctx)
 		}
 		if !published {
 			th.Free(e) // rejected or abandoned: reclaim the staged entry
+			return
+		}
+		if durable && opErr == nil {
+			opErr = s.logMutation(func() error { return s.wal.AppendPut(seq, deadline, key, val) })
 		}
 	})
 	if err != nil {
 		return err
 	}
 	return opErr
+}
+
+// tickSeq assigns the next durability sequence number inside the publishing
+// transaction, stamping it into the entry block at e (0 = no entry word to
+// stamp, for deletes). Non-durable stores skip the tick: the extra shared
+// word would make every pair of write transactions conflict for nothing.
+func (s *Store) tickSeq(t *htm.Txn, e htm.Addr, durable bool) uint64 {
+	if !durable {
+		return 0
+	}
+	seq := t.Load(s.dir+dirSeq) + 1
+	t.Store(s.dir+dirSeq, seq)
+	if e != 0 {
+		t.Store(e+entrySeq, seq)
+	}
+	return seq
+}
+
+// logMutation frames one acknowledged mutation into the commit log and
+// blocks until it is durable, converting failures into ErrDurability. On
+// success it advances the snapshot trigger.
+func (s *Store) logMutation(appendRec func() error) error {
+	if err := appendRec(); err != nil {
+		s.walFails.Add(1)
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	s.noteMutation()
+	return nil
 }
 
 // fillEntry allocates and fills an entry block non-transactionally. The
@@ -359,11 +430,14 @@ func (s *Store) Delete(ctx context.Context, key []byte) (bool, error) {
 	hash := hashKey(key)
 	now := s.cfg.Now()
 	s.deletes.Add(1)
+	durable := s.wal != nil
 	var existed bool
 	var opErr error
 	err := s.withThreadCtx(ctx, func(th *htm.Thread) {
+		mutated := false
+		var seq uint64
 		committed := th.AtomicUntil(func(t *htm.Txn) {
-			existed = false
+			existed, mutated = false, false
 			slot, e, found, _ := s.probe(t, hash, key)
 			if !found {
 				return
@@ -373,9 +447,18 @@ func (s *Store) Delete(ctx context.Context, key []byte) (bool, error) {
 			t.Store(s.dir+dirCount, t.Load(s.dir+dirCount)-1)
 			t.Store(s.dir+dirTombstones, t.Load(s.dir+dirTombstones)+1)
 			t.FreeOnCommit(e)
+			seq = s.tickSeq(t, 0, durable)
+			mutated = true
 		}, stopFor(ctx))
 		if !committed {
 			opErr = s.deadlineErr(ctx)
+			return
+		}
+		// The record is logged whenever the index changed — even for an
+		// expired entry (existed=false): the tombstone is a state change a
+		// crash must not resurrect.
+		if durable && mutated {
+			opErr = s.logMutation(func() error { return s.wal.AppendDelete(seq, key) })
 		}
 	})
 	if err == nil {

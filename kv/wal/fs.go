@@ -1,0 +1,105 @@
+// Package wal is the durability layer of the kv engine: an append-only
+// commit log (one CRC-framed record per acknowledged PUT/DELETE, group-commit
+// batched fsync, size-rotated segments) plus periodic snapshots that truncate
+// old segments, and a recovery path that replays snapshot-then-log into an
+// empty store.
+//
+// The on-disk contract, in one paragraph: a record is durable — and its
+// operation may be acknowledged — once Append returns nil. Segments are
+// replayed in index order; the first bad frame in the FINAL segment is a torn
+// tail (a write the crash interrupted) and everything from it on is
+// truncated, while a bad frame in any earlier segment, or a gap in the
+// segment sequence, is real corruption and recovery refuses to start
+// (ErrRecovery). Snapshots are written to a temp file and atomically renamed,
+// so a snapshot either exists completely (header, entries, footer, all
+// CRC-checked) or is ignored.
+//
+// All file I/O flows through the small FS interface so tests can substitute
+// an in-memory filesystem (MemFS) and a seeded fault injector (FaultFS) that
+// produces short writes, torn records and lying fsyncs — the same
+// seeded-PRNG discipline as htm.FaultPlan.
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the log and snapshot writers use. Writes are
+// appends (the log never seeks); Sync must not return until previously
+// written bytes are durable.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the WAL needs. Implementations: OSFS (real
+// files), MemFS (tests), FaultFS (seeded injection around either).
+type FS interface {
+	// MkdirAll ensures dir exists.
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+}
+
+// OSFS is the production FS: plain os package calls.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// IsNotExist reports whether err is a missing-file error from any FS
+// implementation (OSFS surfaces os errors, MemFS uses fs.ErrNotExist).
+func IsNotExist(err error) bool {
+	return os.IsNotExist(err) || err == fs.ErrNotExist
+}
+
+// join builds an FS path. All FS implementations use the host separator
+// convention so filepath.Join is correct for each.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with real sync semantics: every file tracks how
+// many of its bytes have been fsynced, and Crash() discards everything after
+// the synced watermark — including whole files that were never synced — so
+// tests can model exactly what a power cut preserves. Renames are modeled as
+// immediately durable (the writers fsync file contents before renaming).
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive Crash
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+// Crash simulates a power cut: every file is truncated to its synced
+// watermark, and files that were never synced at all disappear.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if f.synced == 0 {
+			delete(m.files, name)
+			continue
+		}
+		f.data = f.data[:f.synced]
+	}
+}
+
+// SyncedBytes reports the durable length of name (tests).
+func (m *MemFS) SyncedBytes(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return f.synced
+	}
+	return 0
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fs.ErrNotExist
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := dir + string(filepath.Separator)
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], string(filepath.Separator)) {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	delete(m.files, oldname)
+	// Rename is the atomic publish point: model it as durable (content was
+	// fsynced by the writer; a crash keeps the new name).
+	f.synced = len(f.data)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fs.ErrNotExist
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// Corrupt XORs mask into name at offset (tests: seeded mid-log corruption).
+func (m *MemFS) Corrupt(name string, offset int64, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || int(offset) >= len(f.data) {
+		return fs.ErrNotExist
+	}
+	f.data[offset] ^= mask
+	return nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// FaultPlan parameterizes FaultFS: a seeded PRNG (the htm.FaultPlan
+// discipline — same seed, same faults) deciding per write whether to tear it
+// short and per fsync whether to lie. Probabilities are in [0, 1].
+type FaultPlan struct {
+	// Seed seeds the injection PRNG; 0 means an arbitrary fixed seed.
+	Seed uint64
+	// ShortWriteProb is the chance a Write persists only a strict prefix of
+	// its bytes and returns an error — a torn record.
+	ShortWriteProb float64
+	// LieSyncProb is the chance a Sync returns nil WITHOUT making the
+	// written bytes durable — the lying-fsync failure mode. A subsequent
+	// Crash() on the backing MemFS loses the acknowledged bytes.
+	LieSyncProb float64
+	// FailWriteAfter, when > 0, makes every Write fail (persisting nothing)
+	// after that many successful writes — a full device drop.
+	FailWriteAfter uint64
+}
+
+// FaultFS wraps an FS, injecting seeded write/sync faults per its plan.
+// Metadata operations (rename, remove, truncate, reads) pass through.
+type FaultFS struct {
+	FS
+	Plan FaultPlan
+
+	mu     sync.Mutex
+	rng    uint64
+	writes uint64
+	// Injected counters let tests assert that adversity actually happened.
+	ShortWrites uint64
+	LiedSyncs   uint64
+}
+
+// NewFaultFS wraps inner with plan.
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	// splitmix64 scramble so nearby seeds give unrelated streams.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return &FaultFS{FS: inner, Plan: plan, rng: z}
+}
+
+func (f *FaultFS) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return float64(f.rng>>11)/(1<<53) < prob
+}
+
+// ErrInjected is the cause FaultFS attaches to torn writes it manufactures.
+var ErrInjected = fmt.Errorf("wal: injected fault")
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	h, err := f.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	h, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h}, nil
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	f := h.fs
+	f.mu.Lock()
+	f.writes++
+	if f.Plan.FailWriteAfter > 0 && f.writes > f.Plan.FailWriteAfter {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("%w: device gone after %d writes", ErrInjected, f.Plan.FailWriteAfter)
+	}
+	if f.roll(f.Plan.ShortWriteProb) && len(p) > 0 {
+		f.rng ^= f.rng << 13
+		f.rng ^= f.rng >> 7
+		f.rng ^= f.rng << 17
+		k := int(f.rng % uint64(len(p))) // strict prefix: 0 <= k < len(p)
+		f.ShortWrites++
+		f.mu.Unlock()
+		n, _ := h.inner.Write(p[:k])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, k, len(p))
+	}
+	f.mu.Unlock()
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	f := h.fs
+	f.mu.Lock()
+	lie := f.roll(f.Plan.LieSyncProb)
+	if lie {
+		f.LiedSyncs++
+	}
+	f.mu.Unlock()
+	if lie {
+		return nil // the lie: report durability without providing it
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error { return h.inner.Close() }

@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record kinds. Put and Delete are the log's vocabulary — one record per
+// acknowledged mutation; SnapHeader/SnapFooter frame snapshot files.
+const (
+	KindPut byte = iota + 1
+	KindDelete
+	KindSnapHeader
+	KindSnapFooter
+)
+
+// Record is one decoded log or snapshot record. Which fields are meaningful
+// depends on Kind:
+//
+//	KindPut:        Seq, Expiry, Key, Val
+//	KindDelete:     Seq, Key
+//	KindSnapHeader: Barrier (the snapshot's replay barrier S0), Seg
+//	KindSnapFooter: Count (entry records preceding it)
+type Record struct {
+	Kind    byte
+	Seq     uint64
+	Expiry  uint64
+	Key     []byte
+	Val     []byte
+	Barrier uint64
+	Seg     uint64
+	Count   uint64
+}
+
+// Framing: every record is stored as
+//
+//	[4B little-endian payload length][4B CRC32-C of payload][payload]
+//
+// The CRC covers the payload only; the length is validated by bounds and by
+// the CRC of the bytes it delimits (a corrupted length either overruns the
+// segment — torn/corrupt — or frames bytes whose CRC cannot match).
+const frameHdr = 8
+
+// maxRecordBytes bounds a sane payload; a decoded length beyond it is
+// corruption, not a big record (keys and values are bounded far below this).
+const maxRecordBytes = 1 << 24
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint appends v as a varint.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// encodePayload appends r's payload encoding (no frame) to b.
+func encodePayload(b []byte, r Record) []byte {
+	b = append(b, r.Kind)
+	switch r.Kind {
+	case KindPut:
+		b = appendUvarint(b, r.Seq)
+		b = appendUvarint(b, r.Expiry)
+		b = appendUvarint(b, uint64(len(r.Key)))
+		b = append(b, r.Key...)
+		b = appendUvarint(b, uint64(len(r.Val)))
+		b = append(b, r.Val...)
+	case KindDelete:
+		b = appendUvarint(b, r.Seq)
+		b = appendUvarint(b, uint64(len(r.Key)))
+		b = append(b, r.Key...)
+	case KindSnapHeader:
+		b = appendUvarint(b, r.Barrier)
+		b = appendUvarint(b, r.Seg)
+	case KindSnapFooter:
+		b = appendUvarint(b, r.Count)
+	default:
+		panic(fmt.Sprintf("wal: encode of unknown record kind %d", r.Kind))
+	}
+	return b
+}
+
+// appendFrame appends the framed encoding of r to b.
+func appendFrame(b []byte, r Record) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	b = encodePayload(b, r)
+	payload := b[start+frameHdr:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, crcTable))
+	return b
+}
+
+// frameError classifies why a frame failed to decode.
+type frameError struct {
+	reason string
+	torn   bool // true when consistent with a write cut short at the tail
+}
+
+func (e *frameError) Error() string { return e.reason }
+
+// decodeFrame decodes one frame at the start of b, returning the record and
+// the total frame size. A *frameError with torn=true means b ends in a
+// partial frame (legal at the tail of the final segment); torn=false means
+// the bytes are structurally bad in a way a torn tail cannot produce alone —
+// but at a tail position both are truncated identically, so the distinction
+// is informational.
+func decodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHdr {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("partial frame header (%d bytes)", len(b)), torn: true}
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n == 0 || n > maxRecordBytes {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("implausible record length %d", n)}
+	}
+	if len(b) < frameHdr+n {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("partial record (%d of %d payload bytes)", len(b)-frameHdr, n), torn: true}
+	}
+	payload := b[frameHdr : frameHdr+n]
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", crc, got)}
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, &frameError{reason: err.Error()}
+	}
+	return rec, frameHdr + n, nil
+}
+
+// decodePayload decodes a CRC-validated payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("empty payload")
+	}
+	r := Record{Kind: p[0]}
+	p = p[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated varint")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	bytesField := func() ([]byte, error) {
+		n, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(p)) < n {
+			return nil, fmt.Errorf("field overruns payload (%d > %d)", n, len(p))
+		}
+		out := make([]byte, n)
+		copy(out, p[:n])
+		p = p[n:]
+		return out, nil
+	}
+	var err error
+	switch r.Kind {
+	case KindPut:
+		if r.Seq, err = next(); err != nil {
+			return r, err
+		}
+		if r.Expiry, err = next(); err != nil {
+			return r, err
+		}
+		if r.Key, err = bytesField(); err != nil {
+			return r, err
+		}
+		if r.Val, err = bytesField(); err != nil {
+			return r, err
+		}
+	case KindDelete:
+		if r.Seq, err = next(); err != nil {
+			return r, err
+		}
+		if r.Key, err = bytesField(); err != nil {
+			return r, err
+		}
+	case KindSnapHeader:
+		if r.Barrier, err = next(); err != nil {
+			return r, err
+		}
+		if r.Seg, err = next(); err != nil {
+			return r, err
+		}
+	case KindSnapFooter:
+		if r.Count, err = next(); err != nil {
+			return r, err
+		}
+	default:
+		return r, fmt.Errorf("unknown record kind %d", r.Kind)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%d trailing payload bytes", len(p))
+	}
+	return r, nil
+}

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRecovery is the sentinel for unrecoverable log state: mid-log
+// corruption, a gap in the segment sequence, or a replay callback failure
+// (e.g. the store's index cannot hold the logged state). errors.Is(err,
+// ErrRecovery) matches any *RecoveryError.
+var ErrRecovery = errors.New("wal: unrecoverable log")
+
+// RecoveryError pinpoints where recovery had to give up: the file, the byte
+// offset of the offending frame, and the underlying cause. It is deliberately
+// typed (not a formatted string) so operators and harnesses can decide
+// between "move the wal dir aside" and "fix the config" programmatically.
+type RecoveryError struct {
+	Path   string // file that failed
+	Offset int64  // byte offset of the bad frame (or -1 when not applicable)
+	Err    error  // cause
+}
+
+func (e *RecoveryError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("wal: recovery failed at %s+%d: %v", e.Path, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("wal: recovery failed at %s: %v", e.Path, e.Err)
+}
+
+func (e *RecoveryError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrRecovery) true for every RecoveryError.
+func (e *RecoveryError) Is(target error) bool { return target == ErrRecovery }
+
+// Source tells the replay callback where a record came from: snapshot
+// records seed the state (and the per-key sequence map); log records are
+// applied under the sequence rule.
+type Source int
+
+const (
+	SourceSnapshot Source = iota
+	SourceLog
+)
+
+// Result summarizes a recovery.
+type Result struct {
+	// Clean reports a valid clean-shutdown marker was present.
+	Clean bool
+	// MarkerSeq is the sequence number the marker recorded (when Clean).
+	MarkerSeq uint64
+	// HasSnapshot/SnapshotSeg identify the snapshot that seeded the state.
+	HasSnapshot bool
+	SnapshotSeg uint64
+	// SnapshotEntries counts entry records loaded from the snapshot,
+	// LogRecords the records streamed from segments.
+	SnapshotEntries uint64
+	LogRecords      uint64
+	// TruncatedBytes is how much torn tail was cut from the final segment
+	// (0 on a clean log). TornSegment names it when nonzero.
+	TruncatedBytes int64
+	TornSegment    string
+	// Segments is how many segment files were replayed.
+	Segments int
+	// NextSeg is the segment index the reopened log must append to.
+	NextSeg uint64
+}
+
+// Recover replays the durable state in dir: the newest valid snapshot (if
+// any), then every segment from the snapshot's base onward, in order,
+// calling apply for each record. It truncates a torn tail in the final
+// segment (repairing the file in place so the reopened log appends after the
+// last valid record) and returns a *RecoveryError for anything torn-tail
+// semantics cannot explain: a bad frame in a non-final segment, a gap in the
+// segment sequence, a missing segment the chosen snapshot requires, or an
+// apply failure.
+//
+// apply receives snapshot records first (Source == SourceSnapshot, preceded
+// by the snapshot's KindSnapHeader carrying the replay barrier), then log
+// records (Source == SourceLog) in file order. The sequence-number replay
+// rule lives in the caller; Recover owns file integrity only.
+func Recover(fsys FS, dir string, apply func(rec Record, src Source) error) (*Result, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	res := &Result{}
+	if seq, ok := ReadCleanMarker(fsys, dir); ok {
+		res.Clean = true
+		res.MarkerSeq = seq
+	}
+
+	// Choose the newest structurally valid snapshot. Invalid ones (torn
+	// temp promoted by a lying rename, for instance) are skipped; whether
+	// an older one still works depends on which segments survive below.
+	snaps, err := listIndexed(fsys, dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var snapRecords []Record
+	for i := len(snaps) - 1; i >= 0; i-- {
+		recs, lerr := loadSnapshot(fsys, dir, snaps[i])
+		if lerr != nil {
+			continue // structurally invalid: ignore, try older
+		}
+		res.HasSnapshot = true
+		res.SnapshotSeg = snaps[i]
+		snapRecords = recs
+		break
+	}
+
+	segs, err := listIndexed(fsys, dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	// Integrity of the segment sequence: contiguous, and starting at the
+	// snapshot's base (or at 0 when there is no snapshot — a lowest segment
+	// above 0 means history was pruned against a snapshot we failed to
+	// load, which is unrecoverable).
+	first := uint64(0)
+	if res.HasSnapshot {
+		first = res.SnapshotSeg
+	}
+	replay := segs[:0]
+	for _, idx := range segs {
+		if idx >= first {
+			replay = append(replay, idx)
+		}
+		// Segments below the snapshot base are stale leftovers from an
+		// interrupted prune; they are covered by the snapshot and ignored.
+	}
+	if len(replay) > 0 && replay[0] != first {
+		return nil, &RecoveryError{Path: join(dir, segName(replay[0])), Offset: -1,
+			Err: fmt.Errorf("log starts at segment %d, expected %d (pruned or missing history)", replay[0], first)}
+	}
+	if len(replay) == 0 && !res.HasSnapshot && len(segs) > 0 {
+		// Unreachable (replay keeps everything >= 0), kept for clarity.
+		return nil, &RecoveryError{Path: dir, Offset: -1, Err: fmt.Errorf("no replayable segments")}
+	}
+	for i := 1; i < len(replay); i++ {
+		if replay[i] != replay[i-1]+1 {
+			return nil, &RecoveryError{Path: join(dir, segName(replay[i])), Offset: -1,
+				Err: fmt.Errorf("segment gap: %d follows %d", replay[i], replay[i-1])}
+		}
+	}
+
+	// Seed state from the snapshot.
+	for _, rec := range snapRecords {
+		if rec.Kind == KindSnapFooter {
+			continue
+		}
+		if err := apply(rec, SourceSnapshot); err != nil {
+			return nil, &RecoveryError{Path: join(dir, snapName(res.SnapshotSeg)), Offset: -1, Err: err}
+		}
+		if rec.Kind == KindPut {
+			res.SnapshotEntries++
+		}
+	}
+
+	// Stream the segments.
+	for i, idx := range replay {
+		path := join(dir, segName(idx))
+		data, rerr := fsys.ReadFile(path)
+		if rerr != nil {
+			return nil, &RecoveryError{Path: path, Offset: -1, Err: rerr}
+		}
+		final := i == len(replay)-1
+		off := 0
+		for off < len(data) {
+			rec, n, derr := decodeFrame(data[off:])
+			if derr != nil {
+				if !final {
+					return nil, &RecoveryError{Path: path, Offset: int64(off),
+						Err: fmt.Errorf("mid-log corruption: %w", derr)}
+				}
+				// Torn tail: truncate the file at the last valid frame so
+				// the reopened log appends cleanly after it.
+				res.TruncatedBytes = int64(len(data) - off)
+				res.TornSegment = segName(idx)
+				if terr := fsys.Truncate(path, int64(off)); terr != nil {
+					return nil, &RecoveryError{Path: path, Offset: int64(off),
+						Err: fmt.Errorf("truncating torn tail: %w", terr)}
+				}
+				break
+			}
+			if rec.Kind != KindPut && rec.Kind != KindDelete {
+				return nil, &RecoveryError{Path: path, Offset: int64(off),
+					Err: fmt.Errorf("unexpected record kind %d in log", rec.Kind)}
+			}
+			if err := apply(rec, SourceLog); err != nil {
+				return nil, &RecoveryError{Path: path, Offset: int64(off), Err: err}
+			}
+			res.LogRecords++
+			off += n
+		}
+		res.Segments++
+	}
+
+	res.NextSeg = first
+	if len(replay) > 0 {
+		res.NextSeg = replay[len(replay)-1]
+	}
+	return res, nil
+}

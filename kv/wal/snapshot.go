@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"fmt"
+)
+
+// Snapshot files: the same CRC framing as segments, with a fixed structure —
+// one KindSnapHeader (carrying the replay barrier and the base segment), then
+// KindPut entry records, then one KindSnapFooter whose Count must equal the
+// entry count. The file is written as snap-N.snap.tmp, fsynced, and renamed
+// into place, so a snapshot either exists completely or not at all; the
+// footer check catches the remaining failure mode (a lying fsync persisting
+// a prefix past the rename).
+
+// SnapshotWriter streams one snapshot file.
+type SnapshotWriter struct {
+	fsys  FS
+	dir   string
+	seg   uint64
+	f     File
+	buf   []byte
+	count uint64
+	err   error
+}
+
+// snapshotFlushBytes bounds the writer's in-memory buffer.
+const snapshotFlushBytes = 1 << 20
+
+// NewSnapshotWriter starts snapshot seg: the resulting file asserts "this
+// state covers everything before segment seg, with replay barrier barrier".
+// The barrier must be a store sequence number read AFTER the rotation that
+// created segment seg (see the replay rule in DESIGN.md).
+func NewSnapshotWriter(fsys FS, dir string, seg, barrier uint64) (*SnapshotWriter, error) {
+	f, err := fsys.Create(join(dir, snapName(seg)+snapTemp))
+	if err != nil {
+		return nil, fmt.Errorf("wal: create snapshot temp: %w", err)
+	}
+	w := &SnapshotWriter{fsys: fsys, dir: dir, seg: seg, f: f}
+	w.buf = appendFrame(w.buf, Record{Kind: KindSnapHeader, Barrier: barrier, Seg: seg})
+	return w, nil
+}
+
+// Add appends one entry (key, value, expiry, seq) to the snapshot.
+func (w *SnapshotWriter) Add(seq, expiry uint64, key, val []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendFrame(w.buf, Record{Kind: KindPut, Seq: seq, Expiry: expiry, Key: key, Val: val})
+	w.count++
+	if len(w.buf) >= snapshotFlushBytes {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *SnapshotWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("wal: write snapshot: %w", err)
+		return w.err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Abort discards the temp file (snapshot failed mid-way).
+func (w *SnapshotWriter) Abort() {
+	w.f.Close()
+	_ = w.fsys.Remove(join(w.dir, snapName(w.seg)+snapTemp))
+}
+
+// Close writes the footer, fsyncs, and atomically publishes the snapshot.
+func (w *SnapshotWriter) Close() error {
+	if w.err != nil {
+		w.Abort()
+		return w.err
+	}
+	w.buf = appendFrame(w.buf, Record{Kind: KindSnapFooter, Count: w.count})
+	if err := w.flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	tmp := join(w.dir, snapName(w.seg)+snapTemp)
+	if err := w.fsys.Rename(tmp, join(w.dir, snapName(w.seg))); err != nil {
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// Count returns how many entries have been added.
+func (w *SnapshotWriter) Count() uint64 { return w.count }
+
+// loadSnapshot reads and fully validates snapshot seg: framing, CRCs, the
+// header-first/footer-last structure, and the footer count. Any defect
+// returns an error — the caller treats the snapshot as absent.
+func loadSnapshot(fsys FS, dir string, seg uint64) ([]Record, error) {
+	path := join(dir, snapName(seg))
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		rec, n, derr := decodeFrame(data[off:])
+		if derr != nil {
+			return nil, fmt.Errorf("snapshot %s at +%d: %w", snapName(seg), off, derr)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("snapshot %s: too short (%d records)", snapName(seg), len(recs))
+	}
+	if recs[0].Kind != KindSnapHeader || recs[0].Seg != seg {
+		return nil, fmt.Errorf("snapshot %s: bad header", snapName(seg))
+	}
+	last := recs[len(recs)-1]
+	if last.Kind != KindSnapFooter {
+		return nil, fmt.Errorf("snapshot %s: missing footer (torn)", snapName(seg))
+	}
+	if want := uint64(len(recs) - 2); last.Count != want {
+		return nil, fmt.Errorf("snapshot %s: footer count %d, found %d entries", snapName(seg), last.Count, want)
+	}
+	for _, r := range recs[1 : len(recs)-1] {
+		if r.Kind != KindPut {
+			return nil, fmt.Errorf("snapshot %s: unexpected record kind %d", snapName(seg), r.Kind)
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// writeSnapshot builds a complete snapshot file for tests.
+func writeSnapshot(t *testing.T, fsys FS, dir string, seg, barrier uint64, entries map[string]uint64) {
+	t.Helper()
+	w, err := NewSnapshotWriter(fsys, dir, seg, barrier)
+	if err != nil {
+		t.Fatalf("NewSnapshotWriter: %v", err)
+	}
+	for k, seq := range entries {
+		if err := w.Add(seq, 0, []byte(k), []byte("v-"+k)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestSnapshotRoundTrip writes and validates a snapshot through loadSnapshot.
+func TestSnapshotRoundTrip(t *testing.T) {
+	mfs := NewMemFS()
+	writeSnapshot(t, mfs, "d", 3, 17, map[string]uint64{"a": 5, "b": 9})
+	recs, err := loadSnapshot(mfs, "d", 3)
+	if err != nil {
+		t.Fatalf("loadSnapshot: %v", err)
+	}
+	if len(recs) != 4 { // header + 2 entries + footer
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	if recs[0].Kind != KindSnapHeader || recs[0].Barrier != 17 || recs[0].Seg != 3 {
+		t.Fatalf("bad header: %+v", recs[0])
+	}
+	if recs[3].Kind != KindSnapFooter || recs[3].Count != 2 {
+		t.Fatalf("bad footer: %+v", recs[3])
+	}
+}
+
+// TestSnapshotTornRejected drops the footer (a lying fsync persisting a
+// prefix): loadSnapshot must reject the file.
+func TestSnapshotTornRejected(t *testing.T) {
+	mfs := NewMemFS()
+	writeSnapshot(t, mfs, "d", 1, 5, map[string]uint64{"a": 1, "b": 2, "c": 3})
+	path := join("d", snapName(1))
+	data, err := mfs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for cut := 1; cut < len(data); cut++ {
+		sub := NewMemFS()
+		f, _ := sub.Create(path)
+		f.Write(data[:cut])
+		f.Sync()
+		f.Close()
+		if _, err := loadSnapshot(sub, "d", 1); err == nil {
+			t.Fatalf("cut=%d/%d: torn snapshot validated", cut, len(data))
+		}
+	}
+}
+
+// TestRecoverPrefersNewestValidSnapshot: an invalid newest snapshot falls
+// back to an older valid one — but only when the older one's segments are
+// still present; otherwise recovery refuses.
+func TestRecoverPrefersNewestValidSnapshot(t *testing.T) {
+	mfs := NewMemFS()
+	writeSnapshot(t, mfs, "d", 0, 1, map[string]uint64{"old": 1})
+	writeSnapshot(t, mfs, "d", 2, 9, map[string]uint64{"new": 9})
+	// Segments 0..2 exist (2 active, empty).
+	for seg := uint64(0); seg <= 2; seg++ {
+		l, err := OpenLog("d", seg, Options{FS: mfs})
+		if err != nil {
+			t.Fatalf("OpenLog: %v", err)
+		}
+		if err := l.AppendPut(10+seg, 0, []byte(fmt.Sprintf("s%d", seg)), []byte("v")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		l.Close()
+	}
+	// Corrupt the newest snapshot: recovery should fall back to snapshot 0.
+	if err := mfs.Corrupt(join("d", snapName(2)), 9, 0xFF); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	var fromSnap, fromLog int
+	res, err := Recover(mfs, "d", func(rec Record, src Source) error {
+		if src == SourceSnapshot {
+			fromSnap++
+		} else {
+			fromLog++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !res.HasSnapshot || res.SnapshotSeg != 0 {
+		t.Fatalf("recovered from snapshot %d (has=%v), want 0", res.SnapshotSeg, res.HasSnapshot)
+	}
+	if fromSnap != 2 || fromLog != 3 { // header+1 entry; 3 log records
+		t.Fatalf("snap=%d log=%d, want 2/3", fromSnap, fromLog)
+	}
+
+	// Now prune segments 0 and 1 (as if the newest snapshot's prune ran):
+	// with snapshot 2 corrupt and history missing, recovery must refuse.
+	mfs.Remove(join("d", segName(0)))
+	mfs.Remove(join("d", segName(1)))
+	_, err = Recover(mfs, "d", func(Record, Source) error { return nil })
+	if !errors.Is(err, ErrRecovery) {
+		t.Fatalf("recover with lost history: %v, want ErrRecovery", err)
+	}
+}
+
+// TestRecoverAppliesSnapshotThenLog checks ordering and the barrier header
+// reaching the apply callback first.
+func TestRecoverAppliesSnapshotThenLog(t *testing.T) {
+	mfs := NewMemFS()
+	writeSnapshot(t, mfs, "d", 1, 4, map[string]uint64{"a": 3})
+	l, err := OpenLog("d", 1, Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	if err := l.AppendPut(5, 0, []byte("b"), []byte("v")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Close()
+	var kinds []byte
+	var sources []Source
+	if _, err := Recover(mfs, "d", func(rec Record, src Source) error {
+		kinds = append(kinds, rec.Kind)
+		sources = append(sources, src)
+		return nil
+	}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	want := []byte{KindSnapHeader, KindPut, KindPut}
+	if len(kinds) != 3 || kinds[0] != want[0] || kinds[1] != want[1] || kinds[2] != want[2] {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	if sources[0] != SourceSnapshot || sources[1] != SourceSnapshot || sources[2] != SourceLog {
+		t.Fatalf("sources = %v", sources)
+	}
+}
+
+// TestRecoverApplyFailure propagates a replay-callback error as a typed
+// recovery failure (this is how ErrFull during replay refuses startup).
+func TestRecoverApplyFailure(t *testing.T) {
+	mfs := NewMemFS()
+	l, err := OpenLog("d", 0, Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	if err := l.AppendPut(1, 0, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Close()
+	boom := errors.New("index full")
+	_, err = Recover(mfs, "d", func(Record, Source) error { return boom })
+	if !errors.Is(err, ErrRecovery) || !errors.Is(err, boom) {
+		t.Fatalf("apply failure: %v, want ErrRecovery wrapping cause", err)
+	}
+}

@@ -62,9 +62,13 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		// A real (tiny) chaos run: deterministic shadow-model phase plus the
 		// overload sweep, exit 0 = model, sweep and determinism checks passed.
 		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4"},
+		// A real (tiny) crash run: two SIGKILL/restart cycles plus the torn
+		// and mid-log phases against a real kvserver process; exit 0 = zero
+		// acknowledged-write loss and the refuse-to-start contract held.
+		"./cmd/crashkv": {"-quick", "-seed", "1", "-cycles", "2", "-clients", "2", "-keys", "8"},
 		// Self-diff of the committed snapshot: must exit 0 (no regressions,
 		// no shrunken coverage).
-		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR7.json", "BENCH_PR7.json"},
+		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR8.json", "BENCH_PR8.json"},
 	}
 
 	pkgs := discoverPackages(t, "cmd", "examples")
@@ -97,6 +101,7 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		{"BENCH_PR4.json", "BENCH_PR5.json"},
 		{"BENCH_PR5.json", "BENCH_PR6.json"},
 		{"BENCH_PR6.json", "BENCH_PR7.json"},
+		{"BENCH_PR7.json", "BENCH_PR8.json"},
 	}
 	for _, link := range chain {
 		link := link
