@@ -77,6 +77,8 @@ func run() int {
 	jsonOut := flag.String("json", "", "write (or with -append, merge) results as a machine-readable Report to this file")
 	appendTo := flag.Bool("append", false, "merge the tables into an existing -json report instead of overwriting it")
 	label := flag.String("label", "chaoskv", "label recorded in the -json report")
+	clockShards := flag.Int("clock-shards", 0, "version-clock shards for the deterministic phase (0/1 = single scalar clock)")
+	stripeShift := flag.Int("stripe-shift", 0, "metadata striping for the deterministic phase: one orec per 2^shift words")
 	flag.Parse()
 
 	if *quick {
@@ -90,13 +92,16 @@ func run() int {
 
 	failures := 0
 
-	// Phase 1: deterministic replay, twice, fingerprints compared.
-	fp1, err := deterministicRun(*seed, *ops)
+	// Phase 1: deterministic replay, twice, fingerprints compared. The clock
+	// sharding and striping knobs are part of the pinned configuration: the
+	// phase must stay replayable at ANY setting (CI runs it both unsharded
+	// and sharded).
+	fp1, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaoskv: deterministic phase: %v\n", err)
 		return 1
 	}
-	fp2, err := deterministicRun(*seed, *ops)
+	fp2, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaoskv: deterministic phase (replay): %v\n", err)
 		return 1
@@ -219,7 +224,7 @@ type scanPage struct {
 // (the pipeline only starts under Serve), no admission (its sampler reads
 // wall-clock time). The injection PRNG is the engine's own, seeded from
 // -seed; the workload stream is an independent xorshift from the same seed.
-func deterministicRun(seed uint64, ops int) (string, error) {
+func deterministicRun(seed uint64, ops int, clockShards, stripeShift int) (string, error) {
 	plan := &htm.FaultPlan{
 		Seed:         seed,
 		BeginProb:    0.05,
@@ -236,6 +241,8 @@ func deterministicRun(seed uint64, ops int) (string, error) {
 		Slots:       1 << 10,
 		PoolThreads: 1,
 		MaxRetries:  4, // below MaxPerOp: unlucky ops engage the (injection-immune) fallback
+		ClockShards: clockShards,
+		StripeShift: stripeShift,
 		Faults:      plan,
 		Now:         func() int64 { tick++; return tick },
 	})
@@ -351,8 +358,8 @@ func deterministicRun(seed uint64, ops int) (string, error) {
 	st := store.Heap().Stats()
 	oc := store.OpCounters()
 	return fmt.Sprintf(
-		"determinism-key: seed=%d ops=%d starts=%d commits=%d spurious=%d conflicts=%d capacity=%d fallbacks=%d stalls=%d fulls=%d gets=%d puts=%d dels=%d scans=%d model=%016x",
-		seed, ops, st.Starts, st.Commits, st.SpuriousAborts(),
+		"determinism-key: seed=%d ops=%d shards=%d shift=%d starts=%d commits=%d spurious=%d conflicts=%d capacity=%d fallbacks=%d stalls=%d fulls=%d gets=%d puts=%d dels=%d scans=%d model=%016x",
+		seed, ops, store.Heap().ClockShards(), stripeShift, st.Starts, st.Commits, st.SpuriousAborts(),
 		st.Aborts[htm.AbortConflict], st.Aborts[htm.AbortCapacity],
 		st.FallbackRuns, st.FallbackStalls, fulls,
 		oc.Gets, oc.Puts, oc.Deletes, oc.Scans, modelHash), nil
@@ -393,6 +400,8 @@ func sweepClean(store *kv.Store, baseline uint64) error {
 		return fmt.Errorf("sweep: %d words still locked at quiescence", ms.Locked)
 	case ms.FallbackTagged != 0:
 		return fmt.Errorf("sweep: %d words still fallback-tagged at quiescence", ms.FallbackTagged)
+	case ms.StripeErrors != 0:
+		return fmt.Errorf("sweep: %d per-stripe invariant violations at quiescence", ms.StripeErrors)
 	case ms.Allocated != st.LiveWords:
 		return fmt.Errorf("sweep: %d words allocated, accounting says %d live", ms.Allocated, st.LiveWords)
 	case st.LiveWords != baseline:

@@ -5,7 +5,10 @@
 // and on fully shared footprints. A second table measures what persistent
 // fallback traffic costs concurrently running hardware transactions — under
 // the global lock every hardware begin waits out every fallback critical
-// section; under the fine-grained fallback it never waits.
+// section; under the fine-grained fallback it never waits. Two further
+// tables cover the sharded version clock (disjoint commits across clock
+// shard counts) and the striped-metadata knob (neighbor-word throughput and
+// aliasing aborts across StripeShift values).
 //
 // With -json the tables are written as a machine-readable harness.Report;
 // with -append they are merged into an existing report file instead (so CI
@@ -67,6 +70,13 @@ func run() int {
 	}
 	spinsSweep := harness.FallbackSpinsSweep(cfg, spinsThreads, []int{0, 32, 128, 512})
 	fmt.Println(spinsSweep.Render())
+	// Sharded-clock and stripe-knob figures (PR 9): disjoint commits across
+	// clock shard counts, and the stripe aliasing tradeoff at a fixed thread
+	// count. shards=1 / shift=0 are the pre-sharding baselines.
+	clockScaling := harness.ClockScaling(cfg, tc, []int{1, 4, 16})
+	fmt.Println(clockScaling.Render())
+	stripeTable := harness.StripeConflictTable(cfg, spinsThreads, []int{0, 1, 2, 4})
+	fmt.Println(stripeTable.Render())
 
 	if *jsonOut != "" {
 		rep := harness.NewReport(*label)
@@ -84,6 +94,8 @@ func run() int {
 		rep.AddTable(scaling)
 		rep.AddTable(interference)
 		rep.AddTable(spinsSweep)
+		rep.AddTable(clockScaling)
+		rep.AddTable(stripeTable)
 		if err := rep.WriteJSONFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "fallbackbench: write %s: %v\n", *jsonOut, err)
 			return 1

@@ -68,6 +68,8 @@ func run() int {
 	admission := flag.Bool("admission", false, "shed load (503 + Retry-After) under pool saturation or abort storms")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request store-operation deadline (0 = unbounded)")
 	maxRetries := flag.Int("max-retries", 0, "hardware retry budget before the TLE fallback (0 = engine default)")
+	clockShards := flag.Int("clock-shards", 0, "version-clock shards, rounded up to a power of two (0/1 = single scalar clock)")
+	stripeShift := flag.Int("stripe-shift", 0, "metadata striping: one orec per 2^shift heap words (0 = per-word)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -fault-* injection plan")
 	faultBegin := flag.Float64("fault-begin", 0, "probability of a spurious abort at transaction begin")
 	faultAccess := flag.Float64("fault-access", 0, "probability of a spurious abort per transactional access")
@@ -103,6 +105,8 @@ func run() int {
 		PoolThreads:    *pool,
 		GlobalFallback: *globalFallback,
 		MaxRetries:     *maxRetries,
+		ClockShards:    *clockShards,
+		StripeShift:    *stripeShift,
 		Faults:         plan,
 	}
 	if *walDir != "" {

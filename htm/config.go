@@ -12,6 +12,16 @@ const (
 	defaultMaxReadSet = 1 << 16
 )
 
+// MaxClockShards caps Config.ClockShards. 256 shards spend 8 bits of the
+// 61-bit version field on the shard ID, leaving 53 bits of per-shard tick —
+// still unreachable within any simulated run.
+const MaxClockShards = 256
+
+// MaxStripeShift caps Config.StripeShift: 2^8 = 256-word stripes. Beyond that
+// the allocator's stripe alignment wastes more arena than any conflict-rate
+// saving is worth.
+const MaxStripeShift = 8
+
 // FallbackOwnerBits is the width of the owner thread ID recorded in a word's
 // metadata while the fine-grained TLE fallback holds its lock. The merged
 // metadata word spends bit 0 on the lock, bit 1 on the allocated flag and the
@@ -106,6 +116,27 @@ type Config struct {
 	// this; space-measured runs must leave it unset.
 	NoMaxLive bool
 
+	// ClockShards is the number of independent version-clock shards (see
+	// DESIGN.md "Sharded clock & striped metadata"). Each committing writer
+	// ticks only its thread's home shard (cache-line padded), so disjoint
+	// commits stop serializing on one clock word; readers validate against a
+	// per-shard snapshot taken at begin. 0 or 1 selects the single global
+	// clock, whose semantics and version encoding are bit-for-bit those of the
+	// pre-shard engine. Values are rounded up to a power of two and capped at
+	// MaxClockShards.
+	ClockShards int
+
+	// StripeShift makes one metadata word govern a 2^StripeShift-word stripe
+	// instead of a single word: a commit acquires one CAS per touched stripe,
+	// the fine-grained fallback locks stripes, and alloc/free version whole
+	// stripes. Distinct words in one stripe conflict falsely (counted by
+	// Stats.StripeConflicts); the allocator stripe-aligns blocks so no stripe
+	// is ever shared between blocks, which preserves the per-word liveness
+	// sandbox at block granularity (words in a live block's alignment slack
+	// read as live zeros instead of faulting). 0 — the default — is the exact
+	// pre-stripe per-word engine. Capped at MaxStripeShift.
+	StripeShift int
+
 	// FallbackSpins bounds how long the fine-grained TLE fallback spins on a
 	// locked word it reached OUT OF ADDRESS ORDER before engaging the
 	// deadlock-avoidance release-and-retry protocol (drop the whole lock-set,
@@ -152,6 +183,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = defaultMaxRetries
+	}
+	if c.ClockShards < 1 {
+		c.ClockShards = 1
+	}
+	if c.ClockShards > MaxClockShards {
+		c.ClockShards = MaxClockShards
+	}
+	for c.ClockShards&(c.ClockShards-1) != 0 {
+		c.ClockShards++ // round up to a power of two
+	}
+	if c.StripeShift < 0 {
+		c.StripeShift = 0
+	}
+	if c.StripeShift > MaxStripeShift {
+		c.StripeShift = MaxStripeShift
 	}
 	c.Sandboxed = !c.NoSandbox
 	c.trackMaxLive = !c.NoMaxLive

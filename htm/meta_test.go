@@ -2,6 +2,7 @@ package htm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -34,56 +35,91 @@ func TestMetaEncodingRoundTrip(t *testing.T) {
 }
 
 // TestAllocFreeSingleTickPerTransition pins the merged design's clock
-// discipline: allocate and free each advance the global clock exactly once
-// per block (one fresh version stamps every word of the transition), not once
-// per word.
+// discipline, shard-relatively: allocate and free each tick the owning
+// thread's home clock shard exactly once per block (one fresh version stamps
+// every word of the transition), not once per word — and no other shard
+// moves.
 func TestAllocFreeSingleTickPerTransition(t *testing.T) {
-	h := newTestHeap(t, Config{})
-	th := h.NewThread()
-	a := th.Alloc(8)
-	before := h.ClockNow()
-	th.Free(a)
-	if got := h.ClockNow(); got != before+1 {
-		t.Errorf("free of 8-word block ticked clock %d times, want 1", got-before)
-	}
-	b := th.Alloc(8)
-	if got := h.ClockNow(); got != before+2 {
-		t.Errorf("alloc of 8-word block ticked clock %d times, want 1", got-before-1)
-	}
-	if b != a {
-		t.Logf("allocator did not recycle (%#x -> %#x); tick counts still checked", uint32(a), uint32(b))
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := newTestHeap(t, Config{ClockShards: shards})
+			th := h.NewThread()
+			a := th.Alloc(8)
+			before := h.ClockNow()
+			home := th.ClockShard()
+			homeBefore := h.ClockShardNow(home)
+			th.Free(a)
+			if got := h.ClockNow(); got != before+1 {
+				t.Errorf("free of 8-word block ticked clocks %d times, want 1", got-before)
+			}
+			if got := h.ClockShardNow(home); got != homeBefore+1 {
+				t.Errorf("free ticked home shard %d times, want 1", got-homeBefore)
+			}
+			b := th.Alloc(8)
+			if got := h.ClockNow(); got != before+2 {
+				t.Errorf("alloc of 8-word block ticked clocks %d times, want 1", got-before-1)
+			}
+			if got := h.ClockShardNow(home); got != homeBefore+2 {
+				t.Errorf("alloc ticked home shard %d times, want 1", got-homeBefore-1)
+			}
+			if b != a {
+				t.Logf("allocator did not recycle (%#x -> %#x); tick counts still checked", uint32(a), uint32(b))
+			}
+		})
 	}
 }
 
 // TestReallocVersionExceedsFreeVersion checks the linchpin of the sandbox
-// argument: a reused word's metadata version is strictly greater than any
-// version the block's previous life ever carried, so a transaction holding a
-// pre-free read can never accept post-reallocation state without an extension
-// that revalidates (and fails on) the old entry.
+// argument, per shard: within one clock shard versions are strictly
+// monotonic across a block's free and reuse, and across shards the encoded
+// metadata words never repeat — so a transaction holding a pre-free read can
+// never accept post-reallocation state without an extension that revalidates
+// (and fails on) the old entry, whatever shards the transitions ticked.
 func TestReallocVersionExceedsFreeVersion(t *testing.T) {
-	h := newTestHeap(t, Config{})
-	th := h.NewThread()
-	a := th.Alloc(2)
-	h.StoreNT(a, 1) // bump the word's version past its birth version
-	liveMeta := h.meta[a].Load()
-	th.Free(a)
-	freedMeta := h.meta[a].Load()
-	if metaAllocated(freedMeta) {
-		t.Fatal("freed word still marked allocated")
-	}
-	if metaVersion(freedMeta) <= metaVersion(liveMeta) {
-		t.Errorf("free did not advance version: %d -> %d", metaVersion(liveMeta), metaVersion(freedMeta))
-	}
-	b := th.Alloc(2)
-	if b != a {
-		t.Skipf("allocator did not recycle the block (%#x -> %#x)", uint32(a), uint32(b))
-	}
-	reusedMeta := h.meta[a].Load()
-	if !metaAllocated(reusedMeta) {
-		t.Fatal("reallocated word not marked allocated")
-	}
-	if metaVersion(reusedMeta) <= metaVersion(freedMeta) {
-		t.Errorf("realloc did not advance version: %d -> %d", metaVersion(freedMeta), metaVersion(reusedMeta))
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := newTestHeap(t, Config{ClockShards: shards})
+			th := h.NewThread()
+			a := th.Alloc(2)
+			h.StoreNT(a, 1) // bump the word's version past its birth version
+			liveMeta := h.meta[a].Load()
+			th.Free(a)
+			freedMeta := h.meta[a].Load()
+			if metaAllocated(freedMeta) {
+				t.Fatal("freed word still marked allocated")
+			}
+			if freedMeta == liveMeta {
+				t.Error("free did not rewrite the metadata word")
+			}
+			// The free ticked th's home shard; shard-relative monotonicity
+			// only compares versions drawn from one shard.
+			if s := h.versionShard(metaVersion(freedMeta)); s != th.ClockShard() {
+				t.Errorf("free versioned from shard %d, want home shard %d", s, th.ClockShard())
+			}
+			if h.versionShard(metaVersion(liveMeta)) == h.versionShard(metaVersion(freedMeta)) &&
+				h.versionTick(metaVersion(freedMeta)) <= h.versionTick(metaVersion(liveMeta)) {
+				t.Errorf("free did not advance its shard's version: %d -> %d",
+					h.versionTick(metaVersion(liveMeta)), h.versionTick(metaVersion(freedMeta)))
+			}
+			b := th.Alloc(2)
+			if b != a {
+				t.Skipf("allocator did not recycle the block (%#x -> %#x)", uint32(a), uint32(b))
+			}
+			reusedMeta := h.meta[a].Load()
+			if !metaAllocated(reusedMeta) {
+				t.Fatal("reallocated word not marked allocated")
+			}
+			// Free and realloc ran on the same thread, hence the same home
+			// shard: the tick comparison is exact, pinning per-shard
+			// monotonicity across reuse.
+			if s := h.versionShard(metaVersion(reusedMeta)); s != th.ClockShard() {
+				t.Errorf("realloc versioned from shard %d, want home shard %d", s, th.ClockShard())
+			}
+			if h.versionTick(metaVersion(reusedMeta)) <= h.versionTick(metaVersion(freedMeta)) {
+				t.Errorf("realloc did not advance its shard's version: %d -> %d",
+					h.versionTick(metaVersion(freedMeta)), h.versionTick(metaVersion(reusedMeta)))
+			}
+		})
 	}
 }
 

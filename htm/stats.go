@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 const numAbortCodes = int(AbortSpurious) + 1
@@ -26,9 +27,23 @@ type statCell struct {
 	freeCalls       atomic.Uint64
 	allocWords      atomic.Uint64
 	freeWords       atomic.Uint64
-	// 18 counters (144 B); pad the tail to three full cache lines (192 B).
-	_pad [6]uint64
+	clockShardTicks atomic.Uint64
+	stripeConflicts atomic.Uint64
+	// 20 counters (160 B); pad the tail to three full cache lines (192 B).
+	_pad [4]uint64
 }
+
+// statCellBytes pins statCell's intended footprint: whole cache lines, so
+// adjacent cells never false-share. The paired constant expressions below are
+// a compile-time assertion — uintptr underflow is a constant-overflow build
+// error — so adding a counter without re-padding cannot silently split a cell
+// across a line boundary again.
+const statCellBytes = 192
+
+const (
+	_ = statCellBytes - unsafe.Sizeof(statCell{}) // fails to build if the cell grew
+	_ = unsafe.Sizeof(statCell{}) - statCellBytes // fails to build if the cell shrank
+)
 
 // stats is the heap-internal statistics block: a registry of per-thread
 // cells, plus the exact global live/high-water pair maintained on the alloc
@@ -106,6 +121,17 @@ type Stats struct {
 	FallbackStalls uint64
 	// AllocCalls and FreeCalls count allocator operations.
 	AllocCalls, FreeCalls uint64
+	// ClockShardTicks counts version-clock ticks issued through threads —
+	// commits, fallback commits, allocs and frees. Ticks by threadless NT
+	// operations (address-hashed shards) are not counted. At quiescence with
+	// no NT writes it equals the sum of ClockShardNow over all shards.
+	ClockShardTicks uint64
+	// StripeConflicts counts conflict aborts detected on striped metadata
+	// (commit acquisition/validation failures and failed extensions while
+	// Config.StripeShift > 0). It includes both true word-level conflicts and
+	// stripe-aliasing false conflicts — the difference from a StripeShift=0
+	// run of the same workload is the aliasing cost. Always 0 unstriped.
+	StripeConflicts uint64
 	// LiveWords is the number of currently allocated payload words;
 	// MaxLiveWords is its high-water mark. These drive the paper's
 	// space-usage comparisons and are exact in the default configuration.
@@ -152,9 +178,12 @@ func (s Stats) String() string {
 			first = false
 		}
 	}
-	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d fbstalls=%d alloc=%d free=%d live=%dw maxLive=%dw",
+	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d fbstalls=%d alloc=%d free=%d live=%dw maxLive=%dw clockticks=%d",
 		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries, s.FallbackStalls,
-		s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords)
+		s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords, s.ClockShardTicks)
+	if s.StripeConflicts > 0 {
+		fmt.Fprintf(&b, " stripeconf=%d", s.StripeConflicts)
+	}
 	return b.String()
 }
 
@@ -173,6 +202,8 @@ func (h *Heap) Stats() Stats {
 		s.FallbackStalls += c.fallbackStalls.Load()
 		s.AllocCalls += c.allocCalls.Load()
 		s.FreeCalls += c.freeCalls.Load()
+		s.ClockShardTicks += c.clockShardTicks.Load()
+		s.StripeConflicts += c.stripeConflicts.Load()
 		for code := 1; code < numAbortCodes; code++ {
 			if n := c.aborts[code].Load(); n > 0 {
 				s.Aborts[AbortCode(code)] += n

@@ -12,10 +12,15 @@ import (
 type Thread struct {
 	h     *Heap
 	id    uint64
-	shard int
-	rng   uint64
-	txn   Txn
-	inTxn bool
+	shard int // allocator home shard
+	// clockShard is the version-clock shard this thread's commits, allocs and
+	// frees tick (Config.ClockShards). Assigning threads round-robin by ID
+	// keeps concurrently created threads on distinct shards, so disjoint
+	// commits from different threads never RMW a shared clock line.
+	clockShard int
+	rng        uint64
+	txn        Txn
+	inTxn      bool
 
 	// cell is this thread's private statistics block; see stats.
 	cell *statCell
@@ -38,16 +43,22 @@ type Thread struct {
 func (h *Heap) NewThread() *Thread {
 	id := h.nextTID.Add(1)
 	th := &Thread{
-		h:     h,
-		id:    id,
-		shard: int(id) & (len(h.alloc.shards) - 1),
-		rng:   id*0x9E3779B97F4A7C15 | 1,
-		cell:  h.stats.register(),
+		h:          h,
+		id:         id,
+		shard:      int(id) & (len(h.alloc.shards) - 1),
+		clockShard: int(id & h.shardMask),
+		rng:        id*0x9E3779B97F4A7C15 | 1,
+		cell:       h.stats.register(),
 	}
 	th.txn.th = th
 	th.txn.h = h
 	th.txn.words = h.words
 	th.txn.meta = h.meta
+	th.txn.clock = h.clock
+	th.txn.shardBits = h.shardBits
+	th.txn.shardMask = h.shardMask
+	th.txn.sshift = h.stripeShift
+	th.txn.rv = make([]uint64, len(h.clock))
 	th.txn.yieldThresh = h.ntYieldThresh // same conversion as NT accesses
 	th.txn.maxReadSet = h.cfg.MaxReadSet
 	th.txn.storeBufSize = h.cfg.StoreBufferSize
@@ -68,6 +79,17 @@ func (h *Heap) NewThread() *Thread {
 
 // ID returns the thread's unique identifier (1-based).
 func (th *Thread) ID() uint64 { return th.id }
+
+// ClockShard returns the version-clock shard this thread's commits tick.
+func (th *Thread) ClockShard() int { return th.clockShard }
+
+// tickClock advances this thread's home clock shard and returns the encoded
+// version. Callers must hold (or exclusively own) every metadata word the
+// version will be published to — see Heap.tickShard.
+func (th *Thread) tickClock() uint64 {
+	bump(&th.cell.clockShardTicks)
+	return th.h.tickShard(th.clockShard)
+}
 
 // Heap returns the heap this thread operates on.
 func (th *Thread) Heap() *Heap { return th.h }
@@ -137,7 +159,12 @@ func (th *Thread) begin() *Txn {
 			runtime.Gosched()
 		}
 	}
-	t.rv = h.clock.Load()
+	// Snapshot every clock shard. One load per shard, no RMW: begin leaves no
+	// trace on any shared cache line. With one shard this is the scalar
+	// rv = clock.Load() of the pre-shard engine.
+	for i := range t.rv {
+		t.rv[i] = h.clock[i].v.Load()
+	}
 	th.attempts++
 	bump(&th.cell.starts)
 	if th.faults != nil {

@@ -172,6 +172,7 @@ func TestFallbackReadOnlyRestoresMetadata(t *testing.T) {
 		before[i] = h.meta[a+Addr(i)].Load()
 	}
 	clock := h.ClockNow()
+	homeBefore := h.ClockShardNow(th.ClockShard())
 	var sum uint64
 	th.Atomic(func(tx *Txn) {
 		tx.Store(scratch, 1)
@@ -189,8 +190,12 @@ func TestFallbackReadOnlyRestoresMetadata(t *testing.T) {
 			t.Errorf("word %d metadata %#x, want restored %#x", i, got, before[i])
 		}
 	}
-	// The write-back of scratch ticks the clock exactly once.
+	// The write-back of scratch ticks the thread's home clock shard exactly
+	// once, and no other shard.
 	if got := h.ClockNow(); got != clock+1 {
 		t.Errorf("clock advanced by %d, want 1 (single tick per fallback commit)", got-clock)
+	}
+	if got := h.ClockShardNow(th.ClockShard()); got != homeBefore+1 {
+		t.Errorf("home shard advanced by %d, want 1", got-homeBefore)
 	}
 }

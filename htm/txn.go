@@ -19,8 +19,8 @@ var abortSentinel = &txnAbort{}
 // readEntry records one read: the address and the full metadata word observed
 // when the value was read (unlocked, allocated, version ≤ rv at that time).
 // Validation is a single load-and-compare against the live metadata: any
-// concurrent commit, free, or reallocation of the word rewrites the one word
-// the validator rereads.
+// concurrent commit, free, or reallocation of the governing stripe rewrites
+// the one word the validator rereads.
 type readEntry struct {
 	addr Addr
 	meta uint64
@@ -29,22 +29,23 @@ type readEntry struct {
 // writeEntry buffers one write: the address, the value, and the metadata
 // word observed when the store was buffered (lock bit cleared). Commit
 // acquisition CASes the live metadata from exactly this recorded word, so a
-// word that changed in ANY way since the store — a concurrent commit, an NT
+// stripe that changed in ANY way since the store — a concurrent commit, an NT
 // write, a free, or a free-and-reallocation — fails acquisition and aborts.
-// Version monotonicity makes the recorded word unrepeatable, which is what
-// keeps a blind write from ever landing in a reused block's new life.
+// Per-shard version monotonicity makes the recorded word unrepeatable, which
+// is what keeps a blind write from ever landing in a reused block's new life.
 type writeEntry struct {
 	addr Addr
 	val  uint64
 	meta uint64
 }
 
-// lockEntry records one word held by a fine-grained fallback operation: the
-// address, the metadata word displaced by the lock acquisition (restored
-// verbatim if the word is released unwritten), and whether the operation
-// buffered a store to it (released with a fresh version instead).
+// lockEntry records one metadata word (a word's, or a whole stripe's with
+// Config.StripeShift) held by a fine-grained fallback operation: the METADATA
+// INDEX, the metadata word displaced by the lock acquisition (restored
+// verbatim if the stripe is released unwritten), and whether the operation
+// buffered a store under it (released with a fresh version instead).
 type lockEntry struct {
-	addr    Addr
+	addr    Addr // metadata index, not a word address
 	prev    uint64
 	written bool
 }
@@ -56,9 +57,14 @@ type lockEntry struct {
 // restartable: accumulate results in locals that are reset at the top of the
 // body, and publish them only after Atomic returns.
 type Txn struct {
-	th     *Thread
-	h      *Heap
-	rv     uint64 // read validity timestamp
+	th *Thread
+	h  *Heap
+	// rv is the read-validity snapshot: one tick per clock shard, taken at
+	// begin and advanced wholesale by extend(). A version with shard s and
+	// tick k is readable iff k <= rv[s]. With one shard this is the classic
+	// TL2 scalar timestamp; the slice is allocated once per Thread and reused
+	// by every attempt, so begin stays allocation-free.
+	rv     []uint64
 	fbSeq  uint64 // fallback-lock sequence observed at begin
 	reads  []readEntry
 	writes []writeEntry
@@ -76,6 +82,10 @@ type Txn struct {
 	// cfg) on every transactional access.
 	words        []atomic.Uint64
 	meta         []atomic.Uint64
+	clock        []clockLine // the heap's sharded version clock
+	shardBits    uint        // version encoding: tick<<shardBits | shard
+	shardMask    uint64
+	sshift       uint   // metadata stripe shift (Config.StripeShift)
 	yieldThresh  uint64 // rand() below this yields; 0 = never (see maybeYield)
 	maxReadSet   int
 	storeBufSize int
@@ -146,6 +156,10 @@ func readFilterBits(a Addr) (fw uint32, mask uint64) {
 // bodies cannot grow the duplicated read set without limit.
 const bypassReadCap = 4096
 
+// mi maps a word address to the index of its governing metadata word; the
+// identity unless Config.StripeShift groups words into stripes (see Heap.mi).
+func (t *Txn) mi(a Addr) int { return int(a) >> t.sshift }
+
 // findWrite returns the write-set slot holding a, or -1.
 func (t *Txn) findWrite(a Addr) int {
 	w := t.writes
@@ -173,6 +187,18 @@ func (t *Txn) addWrite(a Addr, v, meta uint64) {
 			t.windex.insert(a, n-1)
 		}
 	}
+}
+
+// stripeWritten reports whether any write entry maps to stripe si. Used only
+// on the striped commit path (the per-word path uses findWrite); the write
+// set is bounded by the store buffer, so the scan is small.
+func (t *Txn) stripeWritten(si int) bool {
+	for i := range t.writes {
+		if t.mi(t.writes[i].addr) == si {
+			return true
+		}
+	}
+	return false
 }
 
 // findLock returns the lock-set slot holding a, or -1. Same shape as
@@ -219,40 +245,43 @@ func (t *Txn) addLock(a Addr, prev uint64) int {
 // they are bounded.
 const defaultFallbackSpins = 128
 
-// fbAcquire takes the fine-grained fallback lock on a's metadata word and
-// returns its lock-set slot (immediately, if already held). Deadlock
-// avoidance is ordered try-lock with bounded backoff: acquiring above the
-// watermark may wait indefinitely (address order is a global total order, so
-// such waits cannot cycle; hardware commits and NT operations never wait
-// while holding locks and are waited out unconditionally), while acquiring
-// below it try-locks Config.FallbackSpins times and then aborts the attempt — the
-// runFallback loop releases the entire lock-set, backs off with jitter, and
-// re-runs the body. The owner ID recorded in the held word lets a contending
-// fallback see who holds it in a debugger and turns a same-thread re-lock —
-// impossible unless the lock-set invariant broke — into a loud panic instead
-// of a silent self-deadlock.
+// fbAcquire takes the fine-grained fallback lock on the metadata word
+// governing a and returns its lock-set slot (immediately, if already held).
+// With Config.StripeShift the lock-set is keyed by stripe index, so two words
+// in one stripe cost one acquisition — exactly as a hardware commit CASes one
+// stripe once. Deadlock avoidance is ordered try-lock with bounded backoff:
+// acquiring above the watermark may wait indefinitely (metadata-index order is
+// a global total order, so such waits cannot cycle; hardware commits and NT
+// operations never wait while holding locks and are waited out
+// unconditionally), while acquiring below it try-locks Config.FallbackSpins
+// times and then aborts the attempt — the runFallback loop releases the entire
+// lock-set, backs off with jitter, and re-runs the body. The owner ID recorded
+// in the held word lets a contending fallback see who holds it in a debugger
+// and turns a same-thread re-lock — impossible unless the lock-set invariant
+// broke — into a loud panic instead of a silent self-deadlock.
 func (t *Txn) fbAcquire(a Addr, op string) int {
-	if i := t.findLock(a); i >= 0 {
+	s := Addr(t.mi(a))
+	if i := t.findLock(s); i >= 0 {
 		return i
 	}
 	locked := makeFallbackMeta(t.fbOwner)
 	for spins := 0; ; spins++ {
-		m := t.meta[a].Load()
+		m := t.meta[s].Load()
 		switch {
 		case !metaLocked(m):
 			if !metaAllocated(m) {
 				t.accessFault(a, op)
 			}
-			if t.meta[a].CompareAndSwap(m, locked) {
+			if t.meta[s].CompareAndSwap(m, locked) {
 				bump(&t.th.cell.fallbackLocks)
-				return t.addLock(a, m)
+				return t.addLock(s, m)
 			}
 		case metaFallbackLocked(m):
 			if metaFallbackOwner(m) == t.fbOwner {
 				panic(fmt.Sprintf("htm: fallback self-deadlock: word %#x is locked by this thread but missing from its lock-set", uint32(a)))
 			}
 			// Held by another fallback operation, potentially for long.
-			if len(t.locks) > 0 && a < t.fbMax && spins >= t.fbSpins {
+			if len(t.locks) > 0 && s < t.fbMax && spins >= t.fbSpins {
 				t.abort(AbortConflict, a) // release-and-retry (runFallback)
 			}
 			runtime.Gosched()
@@ -266,12 +295,13 @@ func (t *Txn) fbAcquire(a Addr, op string) int {
 	}
 }
 
-// fbLoad is Txn.Load on the fine-grained fallback path: lock the word, then
-// read it directly — the lock excludes every writer (commits and NT writes
-// take the same metadata lock), so no read-set entry or validation is needed.
+// fbLoad is Txn.Load on the fine-grained fallback path: lock the governing
+// stripe, then read the word directly — the lock excludes every writer
+// (commits and NT writes take the same metadata lock), so no read-set entry
+// or validation is needed.
 func (t *Txn) fbLoad(a Addr) uint64 {
 	t.maybeYield()
-	if a == NilAddr || int(a) >= len(t.meta) {
+	if a == NilAddr || int(a) >= len(t.words) {
 		t.accessFault(a, "load")
 	}
 	if i := t.findWrite(a); i >= 0 {
@@ -288,7 +318,7 @@ func (t *Txn) fbLoad(a Addr) uint64 {
 // the fallback exists precisely to complete bodies that overflow it.
 func (t *Txn) fbStore(a Addr, v uint64) {
 	t.maybeYield()
-	if a == NilAddr || int(a) >= len(t.meta) {
+	if a == NilAddr || int(a) >= len(t.words) {
 		t.accessFault(a, "store")
 	}
 	if i := t.findWrite(a); i >= 0 {
@@ -300,11 +330,11 @@ func (t *Txn) fbStore(a Addr, v uint64) {
 	t.addWrite(a, v, 0) // metadata slot unused: release stores, not CASes
 }
 
-// fbRelease releases the whole lock-set: written words take a fresh live
+// fbRelease releases the whole lock-set: written stripes take a fresh live
 // metadata word at version wv (the caller has already stored their values),
-// read-locked words get their displaced metadata back verbatim (no
+// read-locked stripes get their displaced metadata back verbatim (no
 // observable transition). Pass wv=0 on abort/retry paths — buffered writes
-// were never applied, so every word restores to its pre-lock state.
+// were never applied, so every stripe restores to its pre-lock state.
 func (t *Txn) fbRelease(wv uint64) {
 	for i := range t.locks {
 		l := &t.locks[i]
@@ -384,7 +414,7 @@ func (t *Txn) Abort() {
 // the identical guard by hand because the combined check+call exceeds the
 // compiler's inlining budget — keep the three copies in sync.
 func (t *Txn) checkAccess(a Addr, op string) {
-	if a != NilAddr && int(a) < len(t.meta) && metaAllocated(t.meta[a].Load()) {
+	if a != NilAddr && int(a) < len(t.words) && metaAllocated(t.meta[t.mi(a)].Load()) {
 		return
 	}
 	t.accessFault(a, op)
@@ -399,23 +429,27 @@ func (t *Txn) accessFault(a Addr, op string) {
 
 // validate checks that every read performed so far still holds the metadata
 // word it held when read — one atomic load and compare per entry; a lock, a
-// version bump, a free, or a reallocation all fail it. Words locked by this
+// version bump, a free, or a reallocation all fail it. Stripes locked by this
 // transaction's own commit are checked against their pre-lock metadata by the
 // caller.
 func (t *Txn) validate() bool {
 	for i := range t.reads {
 		r := &t.reads[i]
-		if t.meta[r.addr].Load() != r.meta {
+		if t.meta[t.mi(r.addr)].Load() != r.meta {
 			return false
 		}
 	}
 	return true
 }
 
-// extend attempts to move the read validity timestamp forward after
-// encountering a word newer than rv, aborting on any stale read. This gives
-// the engine HTM-like conflict behaviour: transactions abort only when a word
-// they actually read or wrote is modified concurrently.
+// extend attempts to move the read-validity snapshot forward after
+// encountering a version newer than its shard's rv entry, aborting on any
+// stale read. This gives the engine HTM-like conflict behaviour: transactions
+// abort only when a word they actually read or wrote is modified
+// concurrently. The shard clocks are re-read BEFORE revalidating, exactly as
+// the scalar scheme read the clock before validate(): any write that the new
+// snapshot admits but that landed before the scan is caught by the equality
+// revalidation, so a torn snapshot can never be certified.
 func (t *Txn) extend() {
 	// GlobalFallback compatibility mode only: a timestamp extension across a
 	// global-lock fallback acquisition could mix pre- and post-critical-
@@ -426,11 +460,15 @@ func (t *Txn) extend() {
 	if t.globalFB && t.h.fallbackSeq.Load() != t.fbSeq {
 		t.abort(AbortFallback, NilAddr)
 	}
-	now := t.h.clock.Load()
+	for i := range t.rv {
+		t.rv[i] = t.clock[i].v.Load()
+	}
 	if !t.validate() {
+		if t.sshift != 0 {
+			bump(&t.th.cell.stripeConflicts)
+		}
 		t.abort(AbortConflict, NilAddr)
 	}
-	t.rv = now
 }
 
 // maybeYield models transaction duration on under-provisioned hosts; see
@@ -468,13 +506,14 @@ func (t *Txn) Load(a Addr) uint64 {
 	if t.faults != nil && t.faults.fireAccess() {
 		t.abort(AbortSpurious, NilAddr)
 	}
-	if a == NilAddr || int(a) >= len(t.meta) {
+	if a == NilAddr || int(a) >= len(t.words) {
 		t.accessFault(a, "load")
 	}
+	mi := t.mi(a)
 	if i := t.findWrite(a); i >= 0 {
 		// Read-own-write still faults at the access if the word was freed
 		// since the store — same semantics as Store and the loop below.
-		if !metaAllocated(t.meta[a].Load()) {
+		if !metaAllocated(t.meta[mi].Load()) {
 			t.accessFault(a, "load")
 		}
 		return t.writes[i].val
@@ -485,7 +524,7 @@ func (t *Txn) Load(a Addr) uint64 {
 		// free() rewrites this same word, so m1 carrying the allocated bit
 		// plus an unchanged metadata word below proves the value is a read of
 		// then-live memory.
-		m1 := t.meta[a].Load()
+		m1 := t.meta[mi].Load()
 		if m1&(metaLockBit|metaAllocBit) != metaAllocBit {
 			if metaLocked(m1) {
 				if spins < 64 {
@@ -496,14 +535,17 @@ func (t *Txn) Load(a Addr) uint64 {
 			t.accessFault(a, "load")
 		}
 		v := t.words[a].Load()
-		if t.meta[a].Load() != m1 {
+		if t.meta[mi].Load() != m1 {
 			continue
 		}
-		if metaVersion(m1) > t.rv {
+		// The version is shard-relative: compare its tick against the rv
+		// entry of the shard that issued it (one decode, one indexed load;
+		// with one shard this is exactly the scalar version > rv test).
+		if ver := metaVersion(m1); ver>>t.shardBits > t.rv[ver&t.shardMask] {
 			t.extend()
 			// The word may have changed again between the value read and the
-			// extension; re-read under the new timestamp.
-			if t.meta[a].Load() != m1 {
+			// extension; re-read under the new snapshot.
+			if t.meta[mi].Load() != m1 {
 				continue
 			}
 		}
@@ -556,10 +598,10 @@ func (t *Txn) Store(a Addr, v uint64) {
 	if t.faults != nil && t.faults.fireAccess() {
 		t.abort(AbortSpurious, NilAddr)
 	}
-	if a == NilAddr || int(a) >= len(t.meta) {
+	if a == NilAddr || int(a) >= len(t.words) {
 		t.accessFault(a, "store")
 	}
-	m := t.meta[a].Load()
+	m := t.meta[t.mi(a)].Load()
 	if !metaAllocated(m) {
 		t.accessFault(a, "store")
 	}
@@ -643,7 +685,9 @@ func (t *Txn) commit() (AbortCode, Addr) {
 				for i := 0; i < t.fbDelay; i++ {
 					runtime.Gosched()
 				}
-				t.fbRelease(h.clock.Add(1))
+				// Tick the home shard with the whole lock-set held — same
+				// lock-then-tick order as a hardware commit.
+				t.fbRelease(t.th.tickClock())
 			} else {
 				t.fbRelease(0)
 			}
@@ -674,29 +718,65 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		}
 	}
 
-	// Acquire ownership of the write set: one CAS per word, from exactly the
-	// metadata recorded when the store was buffered to that word locked. The
-	// CAS doubles as full validation of the written word — a concurrent
+	// Acquire ownership of the write set: one CAS per governing metadata word
+	// (per word by default, per stripe with Config.StripeShift), from exactly
+	// the metadata recorded when the store was buffered to that word locked.
+	// The CAS doubles as full validation of the written stripe — a concurrent
 	// commit, an NT write, a free, or a free-and-reallocation all rewrote
-	// the metadata since then (versions only grow, so a recorded word can
-	// never recur), and each fails the acquisition. In particular a blind
-	// write can never land in a reused block's new life, and a freed word is
-	// never locked (which is what lets the allocator transition free words
-	// with a bare CAS instead of a lock handshake).
+	// the metadata since then (versions only grow within their shard and the
+	// shard rides in the encoding, so a recorded word can never recur), and
+	// each fails the acquisition. In particular a blind write can never land
+	// in a reused block's new life, and a freed stripe is never locked (which
+	// is what lets the allocator transition free stripes with a bare CAS
+	// instead of a lock handshake).
+	//
+	// With striping, several write entries can share a stripe; only the FIRST
+	// entry of each stripe CASes it (later entries are skipped by a backscan —
+	// the write set is bounded by the store buffer, so the scan is tiny). A
+	// later entry whose recorded metadata differs from the first's proves the
+	// stripe changed between the two stores: abort, as the per-word engine
+	// would have on whichever word changed.
+	striped := t.sshift != 0
 	acquired := 0
+	skip := func(i int, si int) bool { // a non-first entry of an acquired stripe?
+		for j := 0; j < i; j++ {
+			if t.mi(t.writes[j].addr) == si {
+				return true
+			}
+		}
+		return false
+	}
 	fail := func(code AbortCode, a Addr) (AbortCode, Addr) {
 		for i := 0; i < acquired; i++ {
-			h.releaseMetaUnchanged(t.writes[i].addr, t.writes[i].meta)
+			si := t.mi(t.writes[i].addr)
+			if striped && skip(i, si) {
+				continue
+			}
+			h.releaseMetaUnchanged(si, t.writes[i].meta)
 		}
 		if tle {
 			h.activeCommits.Add(^uint64(0))
+		}
+		if striped && code == AbortConflict {
+			bump(&t.th.cell.stripeConflicts)
 		}
 		return code, a
 	}
 	for i := range t.writes {
 		w := &t.writes[i]
-		if !h.meta[w.addr].CompareAndSwap(w.meta, w.meta|metaLockBit) {
-			if cur := h.meta[w.addr].Load(); !metaAllocated(cur) && !metaLocked(cur) {
+		si := t.mi(w.addr)
+		if striped && skip(i, si) {
+			if t.writes[i].meta != h.meta[si].Load()&^metaLockBit {
+				// Our own lock bit is set on the stripe; anything else
+				// differing from this entry's recorded metadata means the
+				// stripe moved between this store and the first one.
+				return fail(AbortConflict, w.addr)
+			}
+			acquired++
+			continue
+		}
+		if !h.meta[si].CompareAndSwap(w.meta, w.meta|metaLockBit) {
+			if cur := h.meta[si].Load(); !metaAllocated(cur) && !metaLocked(cur) {
 				// The word was freed — and not yet reused — since our store.
 				// (A freed-and-reused word aborts as a conflict above, which
 				// is equally safe: nothing was locked or written.)
@@ -711,18 +791,31 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		acquired++
 	}
 
-	wv := h.clock.Add(1)
+	// Tick the home shard of the version clock. The order is load-bearing and
+	// unchanged from the scalar clock: every write lock is already held, so
+	// any transaction whose begin-scan observes this tick and then reads one
+	// of our words either sees it locked (waits/aborts) or sees the fresh
+	// version — never the old value under a snapshot that admits the new one.
+	wv := t.th.tickClock()
 
-	// Validate the read set. Words we hold locked for writing are validated
+	// Validate the read set. Stripes we hold locked for writing are validated
 	// against their pre-lock (recorded) metadata.
 	for i := range t.reads {
 		r := &t.reads[i]
-		o := h.meta[r.addr].Load()
+		si := t.mi(r.addr)
+		o := h.meta[si].Load()
 		if o == r.meta {
 			continue
 		}
 		if metaLocked(o) {
-			if j := t.findWrite(r.addr); j >= 0 && t.writes[j].meta == r.meta {
+			if striped {
+				// Own-lock check at stripe granularity: the read is covered if
+				// ANY of our write entries locked this stripe from exactly the
+				// metadata the read recorded.
+				if o&^metaLockBit == r.meta && t.stripeWritten(si) {
+					continue
+				}
+			} else if j := t.findWrite(r.addr); j >= 0 && t.writes[j].meta == r.meta {
 				continue
 			}
 		}
@@ -732,8 +825,10 @@ func (t *Txn) commit() (AbortCode, Addr) {
 	for i := range t.writes {
 		h.words[t.writes[i].addr].Store(t.writes[i].val)
 	}
+	// Releasing a stripe twice with the same fresh version is an idempotent
+	// store, so the release loop needs no dedup.
 	for i := range t.writes {
-		h.releaseMeta(t.writes[i].addr, wv)
+		h.releaseMeta(t.mi(t.writes[i].addr), wv)
 	}
 	if tle {
 		h.activeCommits.Add(^uint64(0))
@@ -757,7 +852,6 @@ func (t *Txn) reset() {
 	t.locks = t.locks[:0]
 	t.fbMax = 0
 	t.direct = false
-	t.rv = 0
 	t.fbSeq = 0
 	if t.dedup {
 		// The filter carries bits only when the previous attempt engaged

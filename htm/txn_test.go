@@ -2,6 +2,7 @@ package htm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -403,29 +404,47 @@ func TestSnapshotConsistencyWithNTWriter(t *testing.T) {
 	wg.Wait()
 }
 
+// TestClockMonotonic pins the shard-relative tick discipline: every
+// committing write transaction ticks its thread's home clock shard exactly
+// once, and only that shard (the total across shards advances by exactly the
+// home shard's delta).
 func TestClockMonotonic(t *testing.T) {
-	h := newTestHeap(t, Config{})
-	th := h.NewThread()
-	a := th.Alloc(1)
-	prev := h.ClockNow()
-	for i := 0; i < 100; i++ {
-		th.Atomic(func(tx *Txn) { tx.Store(a, uint64(i)) })
-		now := h.ClockNow()
-		if now <= prev {
-			t.Fatalf("clock did not advance: %d -> %d", prev, now)
-		}
-		prev = now
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := newTestHeap(t, Config{ClockShards: shards})
+			th := h.NewThread()
+			a := th.Alloc(1)
+			home := th.ClockShard()
+			prev := h.ClockShardNow(home)
+			prevTotal := h.ClockNow()
+			for i := 0; i < 100; i++ {
+				th.Atomic(func(tx *Txn) { tx.Store(a, uint64(i)) })
+				now := h.ClockShardNow(home)
+				if now != prev+1 {
+					t.Fatalf("home shard ticked %d times for one commit", now-prev)
+				}
+				if total := h.ClockNow(); total != prevTotal+1 {
+					t.Fatalf("commit moved a foreign shard: total %d -> %d", prevTotal, total)
+				}
+				prev = now
+				prevTotal++
+			}
+		})
 	}
 }
 
 func TestReadOnlyTxnDoesNotAdvanceClock(t *testing.T) {
-	h := newTestHeap(t, Config{})
-	th := h.NewThread()
-	a := th.Alloc(1)
-	before := h.ClockNow()
-	th.Atomic(func(tx *Txn) { tx.Load(a) })
-	if after := h.ClockNow(); after != before {
-		t.Errorf("read-only txn advanced clock %d -> %d", before, after)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := newTestHeap(t, Config{ClockShards: shards})
+			th := h.NewThread()
+			a := th.Alloc(1)
+			before := h.ClockNow()
+			th.Atomic(func(tx *Txn) { tx.Load(a) })
+			if after := h.ClockNow(); after != before {
+				t.Errorf("read-only txn advanced clock %d -> %d", before, after)
+			}
+		})
 	}
 }
 

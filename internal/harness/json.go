@@ -68,8 +68,18 @@ func NewReport(label string) *Report {
 	}
 }
 
-// AddTable appends a figure table to the report.
-func (r *Report) AddTable(t *Table) { r.Tables = append(r.Tables, t) }
+// AddTable records a figure table, replacing any existing table with the
+// same title — so re-running a sweep with -append refreshes its figures in
+// place instead of accumulating duplicates.
+func (r *Report) AddTable(t *Table) {
+	for i, old := range r.Tables {
+		if old.Title == t.Title {
+			r.Tables[i] = t
+			return
+		}
+	}
+	r.Tables = append(r.Tables, t)
+}
 
 // AddHist appends a histogram table to the report.
 func (r *Report) AddHist(t *HistTable) { r.Hists = append(r.Hists, t) }

@@ -102,6 +102,17 @@ type Config struct {
 	// raise it to keep operations on the killable hardware path longer.
 	MaxRetries int
 
+	// ClockShards shards the heap's version clock (htm.Config.ClockShards):
+	// commits tick a per-thread home shard instead of one global word.
+	// 0/1 selects the single scalar clock.
+	ClockShards int
+
+	// StripeShift maintains one metadata word per 2^StripeShift heap words
+	// (htm.Config.StripeShift): less metadata memory and one commit CAS per
+	// stripe, bought with false conflicts between neighboring entries.
+	// 0 keeps per-word metadata.
+	StripeShift int
+
 	// Faults attaches a seeded fault-injection plan to the backing heap (see
 	// htm.FaultPlan) — the chaos harness's adversity dial. nil injects
 	// nothing.

@@ -88,6 +88,8 @@ func newStoreCore(cfg Config) *Store {
 		GlobalFallback:  cfg.GlobalFallback,
 		AllowAllocInTxn: false, // entries are pre-allocated, Rock-style
 		MaxRetries:      cfg.MaxRetries,
+		ClockShards:     cfg.ClockShards,
+		StripeShift:     cfg.StripeShift,
 		Faults:          cfg.Faults,
 	})
 	s := &Store{

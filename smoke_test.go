@@ -61,14 +61,16 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		"./cmd/kvload":           {"-help"},
 		// A real (tiny) chaos run: deterministic shadow-model phase plus the
 		// overload sweep, exit 0 = model, sweep and determinism checks passed.
-		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4"},
+		// Runs with the sharded clock so the determinism contract is exercised
+		// at shards>1 on every test invocation (CI also runs it unsharded).
+		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4", "-clock-shards", "2"},
 		// A real (tiny) crash run: two SIGKILL/restart cycles plus the torn
 		// and mid-log phases against a real kvserver process; exit 0 = zero
 		// acknowledged-write loss and the refuse-to-start contract held.
 		"./cmd/crashkv": {"-quick", "-seed", "1", "-cycles", "2", "-clients", "2", "-keys", "8"},
 		// Self-diff of the committed snapshot: must exit 0 (no regressions,
 		// no shrunken coverage).
-		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR8.json", "BENCH_PR8.json"},
+		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR9.json", "BENCH_PR9.json"},
 	}
 
 	pkgs := discoverPackages(t, "cmd", "examples")
@@ -102,6 +104,7 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		{"BENCH_PR5.json", "BENCH_PR6.json"},
 		{"BENCH_PR6.json", "BENCH_PR7.json"},
 		{"BENCH_PR7.json", "BENCH_PR8.json"},
+		{"BENCH_PR8.json", "BENCH_PR9.json"},
 	}
 	for _, link := range chain {
 		link := link
