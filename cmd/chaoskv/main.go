@@ -13,7 +13,11 @@
 //     every response against an exact shadow model. The phase runs twice and
 //     must produce byte-identical "determinism-key:" fingerprints (fault,
 //     abort and op counts plus a model hash). CI additionally diffs the
-//     fingerprint across two whole process runs.
+//     fingerprint across two whole process runs. With -adapt-pinned the
+//     store runs its contention Tuner enabled but pinned — sampling epochs
+//     tick on a real timer, yet no knob is ever written — and the
+//     fingerprint must STILL replay exactly: the proof that the adaptive
+//     machinery itself perturbs nothing.
 //
 //   - Overload sweep: concurrent clients hammer an admission-controlled,
 //     request-timeout-bounded server while the injection probability rises.
@@ -79,6 +83,7 @@ func run() int {
 	label := flag.String("label", "chaoskv", "label recorded in the -json report")
 	clockShards := flag.Int("clock-shards", 0, "version-clock shards for the deterministic phase (0/1 = single scalar clock)")
 	stripeShift := flag.Int("stripe-shift", 0, "metadata striping for the deterministic phase: one orec per 2^shift words")
+	adaptPinned := flag.Bool("adapt-pinned", false, "run the deterministic phase with the contention tuner enabled but pinned (sampling without acting)")
 	flag.Parse()
 
 	if *quick {
@@ -96,12 +101,12 @@ func run() int {
 	// sharding and striping knobs are part of the pinned configuration: the
 	// phase must stay replayable at ANY setting (CI runs it both unsharded
 	// and sharded).
-	fp1, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift)
+	fp1, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift, *adaptPinned)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaoskv: deterministic phase: %v\n", err)
 		return 1
 	}
-	fp2, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift)
+	fp2, err := deterministicRun(*seed, *ops, *clockShards, *stripeShift, *adaptPinned)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaoskv: deterministic phase (replay): %v\n", err)
 		return 1
@@ -224,7 +229,11 @@ type scanPage struct {
 // (the pipeline only starts under Serve), no admission (its sampler reads
 // wall-clock time). The injection PRNG is the engine's own, seeded from
 // -seed; the workload stream is an independent xorshift from the same seed.
-func deterministicRun(seed uint64, ops int, clockShards, stripeShift int) (string, error) {
+// adaptPinned additionally runs the contention Tuner in pinned mode: its
+// sampling goroutine ticks on real time (epoch counts vary run to run and
+// stay OUT of the fingerprint), but it never writes a knob, so every counter
+// that IS fingerprinted must be untouched by its presence.
+func deterministicRun(seed uint64, ops int, clockShards, stripeShift int, adaptPinned bool) (string, error) {
 	plan := &htm.FaultPlan{
 		Seed:         seed,
 		BeginProb:    0.05,
@@ -237,7 +246,7 @@ func deterministicRun(seed uint64, ops int, clockShards, stripeShift int) (strin
 		ReleaseDelay: 2,
 	}
 	var tick int64 // logical clock: single-threaded phase, no atomics needed
-	store := kv.NewStore(kv.Config{
+	cfg := kv.Config{
 		Slots:       1 << 10,
 		PoolThreads: 1,
 		MaxRetries:  4, // below MaxPerOp: unlucky ops engage the (injection-immune) fallback
@@ -245,7 +254,12 @@ func deterministicRun(seed uint64, ops int, clockShards, stripeShift int) (strin
 		StripeShift: stripeShift,
 		Faults:      plan,
 		Now:         func() int64 { tick++; return tick },
-	})
+	}
+	if adaptPinned {
+		cfg.Adaptive = &kv.AdaptiveConfig{Pinned: true}
+	}
+	store := kv.NewStore(cfg)
+	defer store.Close() // stops the pinned tuner's sampling goroutine
 	sv := kv.NewServer(store)
 	baseline := store.Heap().Stats().LiveWords
 
@@ -357,9 +371,13 @@ func deterministicRun(seed uint64, ops int, clockShards, stripeShift int) (strin
 
 	st := store.Heap().Stats()
 	oc := store.OpCounters()
+	adapt := 0
+	if adaptPinned {
+		adapt = 1
+	}
 	return fmt.Sprintf(
-		"determinism-key: seed=%d ops=%d shards=%d shift=%d starts=%d commits=%d spurious=%d conflicts=%d capacity=%d fallbacks=%d stalls=%d fulls=%d gets=%d puts=%d dels=%d scans=%d model=%016x",
-		seed, ops, store.Heap().ClockShards(), stripeShift, st.Starts, st.Commits, st.SpuriousAborts(),
+		"determinism-key: seed=%d ops=%d shards=%d shift=%d adapt=%d starts=%d commits=%d spurious=%d conflicts=%d capacity=%d fallbacks=%d stalls=%d fulls=%d gets=%d puts=%d dels=%d scans=%d model=%016x",
+		seed, ops, store.Heap().ClockShards(), stripeShift, adapt, st.Starts, st.Commits, st.SpuriousAborts(),
 		st.Aborts[htm.AbortConflict], st.Aborts[htm.AbortCapacity],
 		st.FallbackRuns, st.FallbackStalls, fulls,
 		oc.Gets, oc.Puts, oc.Deletes, oc.Scans, modelHash), nil

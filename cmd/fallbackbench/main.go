@@ -8,7 +8,11 @@
 // section; under the fine-grained fallback it never waits. Two further
 // tables cover the sharded version clock (disjoint commits across clock
 // shard counts) and the striped-metadata knob (neighbor-word throughput and
-// aliasing aborts across StripeShift values).
+// aliasing aborts across StripeShift values). The final table is the
+// adaptive-contention figure: the phase-shift workload (footprints alternate
+// between disjoint and fully shared mid-run) under both static fallback
+// configurations and the online Tuner, which should match the best static
+// choice in each phase.
 //
 // With -json the tables are written as a machine-readable harness.Report;
 // with -append they are merged into an existing report file instead (so CI
@@ -77,6 +81,10 @@ func run() int {
 	fmt.Println(clockScaling.Render())
 	stripeTable := harness.StripeConflictTable(cfg, spinsThreads, []int{0, 1, 2, 4})
 	fmt.Println(stripeTable.Render())
+	// Adaptive-contention figure (PR 10): phase-shift throughput at the same
+	// fixed thread count as the spins sweep.
+	adaptiveTable := harness.AdaptiveScaling(cfg, spinsThreads)
+	fmt.Println(adaptiveTable.Render())
 
 	if *jsonOut != "" {
 		rep := harness.NewReport(*label)
@@ -96,6 +104,7 @@ func run() int {
 		rep.AddTable(spinsSweep)
 		rep.AddTable(clockScaling)
 		rep.AddTable(stripeTable)
+		rep.AddTable(adaptiveTable)
 		if err := rep.WriteJSONFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "fallbackbench: write %s: %v\n", *jsonOut, err)
 			return 1

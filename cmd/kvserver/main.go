@@ -12,6 +12,7 @@
 //	         [-pool N] [-max-value 4096] [-sweep 2s] [-job-workers 2]
 //	         [-job-queue htm|ms|rop|ebr] [-global-fallback] [-verbose]
 //	         [-admission] [-req-timeout 0] [-max-retries 0]
+//	         [-adapt] [-adapt-interval 25ms]
 //	         [-fault-seed 1] [-fault-begin P] [-fault-access P]
 //	         [-fault-commit P] [-fault-stall P]
 //	         [-wal-dir DIR] [-fsync=true] [-snapshot-every N]
@@ -20,7 +21,10 @@
 // The -fault-* flags attach a seeded injection plan (htm.FaultPlan) to the
 // heap — the chaos knobs, usable against a live server; -admission turns on
 // load shedding (503 + Retry-After under pool saturation or abort storms)
-// and -req-timeout bounds each request's store operation.
+// and -req-timeout bounds each request's store operation. -adapt attaches
+// the online contention tuner (htm.Tuner): the fallback mode, spin budget
+// and dedup threshold self-tune from live abort feedback, and with
+// -admission the governor's storm threshold tracks the heap's abort mix.
 //
 // -wal-dir turns on durability: acknowledged mutations are written to a
 // CRC-framed commit log before the response goes out, snapshots truncate old
@@ -68,6 +72,8 @@ func run() int {
 	admission := flag.Bool("admission", false, "shed load (503 + Retry-After) under pool saturation or abort storms")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request store-operation deadline (0 = unbounded)")
 	maxRetries := flag.Int("max-retries", 0, "hardware retry budget before the TLE fallback (0 = engine default)")
+	adapt := flag.Bool("adapt", false, "self-tune fallback mode, spin budget and dedup threshold from live abort feedback")
+	adaptInterval := flag.Duration("adapt-interval", 0, "tuning epoch length with -adapt (0 = engine default, 25ms)")
 	clockShards := flag.Int("clock-shards", 0, "version-clock shards, rounded up to a power of two (0/1 = single scalar clock)")
 	stripeShift := flag.Int("stripe-shift", 0, "metadata striping: one orec per 2^shift heap words (0 = per-word)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -fault-* injection plan")
@@ -108,6 +114,9 @@ func run() int {
 		ClockShards:    *clockShards,
 		StripeShift:    *stripeShift,
 		Faults:         plan,
+	}
+	if *adapt {
+		cfg.Adaptive = &kv.AdaptiveConfig{Interval: *adaptInterval}
 	}
 	if *walDir != "" {
 		cfg.Durability = &kv.Durability{
@@ -165,8 +174,13 @@ func run() int {
 	// wiring or anything else that could delay (or, failing, suppress) the
 	// line. Supervisors and the CI e2e script treat it as the readiness
 	// signal, and with -addr :0 it is the only way to learn the chosen port.
-	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s faults=%v durable=%v)",
-		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue, plan != nil, store.Durable())
+	adaptState := "off"
+	if tu := store.Tuner(); tu != nil {
+		st := tu.State()
+		adaptState = fmt.Sprintf("mode=%s spins=%d dedup=%d", st.Mode, st.FallbackSpins, st.DedupBypass)
+	}
+	log.Printf("kvserver: serving on http://%s (slots=%d heap=%dw pool=%d queue=%s faults=%v durable=%v adapt=%s)",
+		ln.Addr(), store.Slots(), store.Heap().Config().Words, store.PoolSize(), *jobQueue, plan != nil, store.Durable(), adaptState)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := srv.Serve(ctx, ln); err != nil {

@@ -147,6 +147,18 @@ type Config struct {
 	// EnableTLE and not GlobalFallback.
 	FallbackSpins int
 
+	// Adaptive arms the heap's online contention-management machinery (see
+	// DESIGN.md "Adaptive contention management"): the fallback mode becomes a
+	// runtime word switchable with Heap.SetFallbackMode (GlobalFallback then
+	// only selects the INITIAL mode), and FallbackSpins / DedupBypass become
+	// atomic overrides writable with Heap.SetFallbackSpins / SetDedupBypass —
+	// typically driven by a Tuner (Heap.StartTuner). Arming costs the hot path
+	// a few uncontended per-thread atomics (a begin-time knob refresh and a
+	// commit-time epoch marker); when false — the default — none of the
+	// dynamic code runs and behavior is bit-for-bit that of the static
+	// configuration.
+	Adaptive bool
+
 	// Faults attaches a seeded fault-injection plan (see FaultPlan). nil — the
 	// default — injects nothing and costs one pointer check per transactional
 	// operation. The same Config value (plan included) reproduces the same

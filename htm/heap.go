@@ -132,6 +132,16 @@ type Heap struct {
 	fallbackMu    sync.Mutex
 	activeCommits atomic.Uint64
 
+	// Adaptive contention management (Config.Adaptive; see adaptive.go).
+	// fbMode is the runtime fallback mode consulted at fallback entry;
+	// fbSpinsDyn / dedupDyn are the tuned-knob overrides threads refresh at
+	// begin; modeSwitches counts applied mode changes. All four are untouched
+	// (and the fields below them unused) when !Adaptive.
+	fbMode       atomic.Uint32
+	fbSpinsDyn   atomic.Int64
+	dedupDyn     atomic.Int64
+	modeSwitches atomic.Uint64
+
 	alloc   allocator
 	stats   stats
 	nextTID atomic.Uint64
@@ -162,6 +172,13 @@ func NewHeap(cfg Config) *Heap {
 		h.shardBits++
 	}
 	h.ntYieldThresh = yieldThreshold(cfg.YieldEvery)
+	if cfg.Adaptive {
+		if cfg.GlobalFallback {
+			h.fbMode.Store(uint32(ModeGlobal))
+		}
+		h.fbSpinsDyn.Store(int64(cfg.fallbackSpins()))
+		h.dedupDyn.Store(int64(cfg.dedupBypassThreshold()))
+	}
 	h.alloc.init(h)
 	return h
 }

@@ -29,8 +29,19 @@ type statCell struct {
 	freeWords       atomic.Uint64
 	clockShardTicks atomic.Uint64
 	stripeConflicts atomic.Uint64
-	// 20 counters (160 B); pad the tail to three full cache lines (192 B).
-	_pad [4]uint64
+	dedupEngages    atomic.Uint64
+	fallbackWaits   atomic.Uint64
+	// inCommit and inFine are NOT statistics: they are the adaptive-mode
+	// quiesce-barrier words (Config.Adaptive; see adaptive.go). inCommit is
+	// nonzero while this thread's hardware commit write-back is in flight,
+	// inFine while a fine-grained fallback run is. They live in the cell
+	// because the cell registry is already the heap's per-thread scan list and
+	// the cell's tail padding absorbs them for free; like the counters, each
+	// has a single writer (its owning thread) and is read by others — here the
+	// global-fallback acquirer draining the heap. Always 0 when !Adaptive.
+	inCommit atomic.Uint64
+	inFine   atomic.Uint64
+	// 24 words: exactly three full cache lines (192 B), no padding left.
 }
 
 // statCellBytes pins statCell's intended footprint: whole cache lines, so
@@ -48,12 +59,19 @@ const (
 // stats is the heap-internal statistics block: a registry of per-thread
 // cells, plus the exact global live/high-water pair maintained on the alloc
 // path unless Config.NoMaxLive is set (throughput-only runs).
+//
+// The registry is copy-on-write: register (rare — once per NewThread)
+// rebuilds the slice under mu, readers load the current slice pointer with no
+// lock and no allocation. That matters because quiesceForGlobal reads it
+// inside every adaptive global-fallback critical section — a mutex plus a
+// slice copy there would tax the exact serial path the mode switch is trying
+// to make fast.
 type stats struct {
 	liveWords    atomic.Uint64
 	maxLiveWords atomic.Uint64
 
-	mu    sync.Mutex
-	cells []*statCell
+	mu    sync.Mutex // serializes register
+	cells atomic.Pointer[[]*statCell]
 }
 
 // bump and bumpBy update a statCell counter. Each cell has a single writer
@@ -64,22 +82,29 @@ func bump(c *atomic.Uint64) { c.Store(c.Load() + 1) }
 
 func bumpBy(c *atomic.Uint64, n uint64) { c.Store(c.Load() + n) }
 
-// register adds a fresh cell for a new thread.
+// register adds a fresh cell for a new thread (copy-on-write).
 func (st *stats) register() *statCell {
 	c := &statCell{}
 	st.mu.Lock()
-	st.cells = append(st.cells, c)
+	var cells []*statCell
+	if old := st.cells.Load(); old != nil {
+		cells = append(cells, *old...)
+	}
+	cells = append(cells, c)
+	st.cells.Store(&cells)
 	st.mu.Unlock()
 	return c
 }
 
-// snapshotCells copies the registry so summation can proceed unlocked.
+// snapshotCells returns the current registry: an immutable slice, safe to
+// iterate without locking. Threads registered after the load are absent, which
+// every caller already tolerates (sums can only lag, and the quiesce barrier's
+// newcomers self-exclude by observing the odd fallback sequence).
 func (st *stats) snapshotCells() []*statCell {
-	st.mu.Lock()
-	cells := make([]*statCell, len(st.cells))
-	copy(cells, st.cells)
-	st.mu.Unlock()
-	return cells
+	if p := st.cells.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // cellLive sums the per-thread words counters into a current live estimate,
@@ -116,6 +141,14 @@ type Stats struct {
 	// their whole lock-set and re-ran the operation body — the
 	// deadlock-avoidance release-and-retry path.
 	FallbackRetries uint64
+	// FallbackWaits counts fine-grained fallback lock acquisitions that
+	// collided with another operation's held lock-set (at most one count per
+	// acquisition, however long the wait). Unlike FallbackRetries — which
+	// only fires on OUT-OF-ORDER collisions — this counts in-order convoying
+	// too, so its per-run rate is the Tuner's shared-footprint signal: 0 when
+	// fallback footprints are disjoint, ~1+ when every run queues behind the
+	// same words.
+	FallbackWaits uint64
 	// FallbackStalls counts injected lock-holder stall windows executed on the
 	// fallback path (Config.Faults with StallProb > 0); 0 without injection.
 	FallbackStalls uint64
@@ -132,6 +165,15 @@ type Stats struct {
 	// stripe-aliasing false conflicts — the difference from a StripeShift=0
 	// run of the same workload is the aliasing cost. Always 0 unstriped.
 	StripeConflicts uint64
+	// DedupEngages counts transaction attempts that crossed the DedupBypass
+	// threshold and compacted their read set (see Config.DedupBypass). The
+	// Tuner reads its rate as the signal that the bypass budget is being
+	// exhausted.
+	DedupEngages uint64
+	// ModeSwitches counts runtime fallback-mode changes applied through
+	// Heap.SetFallbackMode (Config.Adaptive; 0 otherwise). It is a heap-level
+	// counter, not a per-thread one: switches are rare control-plane events.
+	ModeSwitches uint64
 	// LiveWords is the number of currently allocated payload words;
 	// MaxLiveWords is its high-water mark. These drive the paper's
 	// space-usage comparisons and are exact in the default configuration.
@@ -178,11 +220,14 @@ func (s Stats) String() string {
 			first = false
 		}
 	}
-	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d fbstalls=%d alloc=%d free=%d live=%dw maxLive=%dw clockticks=%d",
-		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries, s.FallbackStalls,
+	fmt.Fprintf(&b, ") fallback=%d fblocks=%d fbretries=%d fbwaits=%d fbstalls=%d alloc=%d free=%d live=%dw maxLive=%dw clockticks=%d",
+		s.FallbackRuns, s.FallbackLocks, s.FallbackRetries, s.FallbackWaits, s.FallbackStalls,
 		s.AllocCalls, s.FreeCalls, s.LiveWords, s.MaxLiveWords, s.ClockShardTicks)
 	if s.StripeConflicts > 0 {
 		fmt.Fprintf(&b, " stripeconf=%d", s.StripeConflicts)
+	}
+	if s.ModeSwitches > 0 {
+		fmt.Fprintf(&b, " modeswitches=%d", s.ModeSwitches)
 	}
 	return b.String()
 }
@@ -193,17 +238,20 @@ func (s Stats) String() string {
 // the snapshot feeds, and the snapshot is exact at quiescence.
 func (h *Heap) Stats() Stats {
 	s := Stats{Aborts: make(map[AbortCode]uint64, numAbortCodes)}
+	s.ModeSwitches = h.modeSwitches.Load()
 	for _, c := range h.stats.snapshotCells() {
 		s.Starts += c.starts.Load()
 		s.Commits += c.commits.Load()
 		s.FallbackRuns += c.fallbackRuns.Load()
 		s.FallbackLocks += c.fallbackLocks.Load()
 		s.FallbackRetries += c.fallbackRetries.Load()
+		s.FallbackWaits += c.fallbackWaits.Load()
 		s.FallbackStalls += c.fallbackStalls.Load()
 		s.AllocCalls += c.allocCalls.Load()
 		s.FreeCalls += c.freeCalls.Load()
 		s.ClockShardTicks += c.clockShardTicks.Load()
 		s.StripeConflicts += c.stripeConflicts.Load()
+		s.DedupEngages += c.dedupEngages.Load()
 		for code := 1; code < numAbortCodes; code++ {
 			if n := c.aborts[code].Load(); n > 0 {
 				s.Aborts[AbortCode(code)] += n

@@ -67,7 +67,11 @@ func (h *Heap) NewThread() *Thread {
 	// capacity that compaction would have recovered (see Config.DedupBypass).
 	th.txn.dedupAfter = h.cfg.dedupBypassThreshold()
 	th.txn.fbOwner = id & fallbackOwnerMask
-	th.txn.globalFB = h.cfg.EnableTLE && h.cfg.GlobalFallback
+	// With Config.Adaptive the static globalFB flag stays false — mode is the
+	// heap's runtime word, consulted at fallback entry, and begin/extend/commit
+	// monitor the fallback epoch through the adaptive checks instead.
+	th.txn.adaptive = h.cfg.Adaptive
+	th.txn.globalFB = h.cfg.EnableTLE && h.cfg.GlobalFallback && !h.cfg.Adaptive
 	th.txn.fbSpins = h.cfg.fallbackSpins()
 	if h.cfg.Faults.enabled() {
 		th.faults = newThreadFaults(h.cfg.Faults, id)
@@ -149,7 +153,22 @@ func (th *Thread) begin() *Txn {
 	t := &th.txn
 	t.reset()
 	h := th.h
-	if t.globalFB {
+	if t.adaptive {
+		// Refresh the tuned knobs — one uncontended load each; the Tuner may
+		// have moved them since the last attempt — and wait out any global
+		// fallback critical section, snapshotting the epoch it will bump.
+		// In fine mode the seq never changes, so the wait is a single load.
+		t.fbSpins = int(h.fbSpinsDyn.Load())
+		t.dedupAfter = int(h.dedupDyn.Load())
+		for {
+			seq := h.fallbackSeq.Load()
+			if seq&1 == 0 {
+				t.fbSeq = seq
+				break
+			}
+			runtime.Gosched()
+		}
+	} else if t.globalFB {
 		for {
 			seq := h.fallbackSeq.Load()
 			if seq&1 == 0 {
@@ -298,7 +317,16 @@ func (th *Thread) AtomicUntil(f func(*Txn), stop func() bool) bool {
 // lock-order conflict with another fallback releases everything and retries
 // with jittered backoff (see fbAcquire for the deadlock-avoidance argument).
 func (th *Thread) runFallback(f func(*Txn)) {
-	if th.txn.globalFB {
+	if th.txn.adaptive {
+		// Consult the runtime mode word through the quiesce barrier: either we
+		// are cleared onto the fine path with inFine published for the whole
+		// run, or the word directs us to the global path.
+		if !th.enterFineFallback() {
+			th.runGlobalFallback(f)
+			return
+		}
+		defer th.cell.inFine.Store(0)
+	} else if th.txn.globalFB {
 		th.runGlobalFallback(f)
 		return
 	}
@@ -322,6 +350,21 @@ func (th *Thread) runFallback(f func(*Txn)) {
 			return
 		}
 		bump(&th.cell.fallbackRetries)
+		if t.adaptive {
+			// Nothing is held between attempts (fbRelease ran), so this is a
+			// safe point to re-consult the mode word: in a storm so dense that
+			// runs stop completing, the Tuner's switch to the global lock must
+			// redirect the operations ALREADY in the retry loop, not only new
+			// entries — they are the storm. Dropping inFine for the backoff also
+			// lets a global acquirer's quiesce scan drain past this thread.
+			th.cell.inFine.Store(0)
+			th.backoff(attempt)
+			if !th.enterFineFallback() {
+				th.runGlobalFallback(f)
+				return
+			}
+			continue
+		}
 		th.backoff(attempt)
 	}
 }
@@ -349,21 +392,32 @@ func (th *Thread) fallbackAttempt(f func(*Txn)) (done bool) {
 	return true
 }
 
-// runGlobalFallback is the Config.GlobalFallback compatibility path: f runs
-// under the process-wide fallback lock with direct (unbuffered) memory
-// access, mutually exclusive with all transaction commits (paper §6).
+// runGlobalFallback is the global-lock fallback path — the static
+// Config.GlobalFallback compatibility mode, and ModeGlobal of the adaptive
+// runtime mode word: f runs under the process-wide fallback lock with direct
+// (unbuffered) memory access, mutually exclusive with all transaction
+// commits and (in adaptive mode, via the quiesce barrier) with all
+// fine-grained fallback runs (paper §6).
 func (th *Thread) runGlobalFallback(f func(*Txn)) {
 	h := th.h
 	h.fallbackMu.Lock()
 	defer h.fallbackMu.Unlock()
 	h.fallbackSeq.Add(1) // odd: lock held; new transactions wait
-	// Wait for in-flight commits to drain.
-	for h.activeCommits.Load() != 0 {
-		runtime.Gosched()
+	if th.txn.adaptive {
+		// Adaptive quiesce: drain in-flight commit write-backs AND fine-
+		// grained fallback runs via the per-thread barrier words — the static
+		// activeCommits counter is not maintained in adaptive mode.
+		h.quiesceForGlobal(th.cell)
+	} else {
+		// Wait for in-flight commits to drain.
+		for h.activeCommits.Load() != 0 {
+			runtime.Gosched()
+		}
 	}
 	t := &th.txn
 	t.reset()
 	t.direct = true
+	t.directGlobal = true
 	th.inTxn = true
 	defer func() {
 		th.inTxn = false

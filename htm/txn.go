@@ -130,13 +130,21 @@ type Txn struct {
 	// the write set. fbMax is the highest address currently held — the
 	// ordered-acquisition watermark the deadlock-avoidance protocol compares
 	// against. fbOwner is the thread ID masked to FallbackOwnerBits, recorded
-	// in each held word's metadata. globalFB caches EnableTLE&&GlobalFallback:
-	// only then do begin/extend/commit monitor the global fallback sequence.
-	locks    []lockEntry
-	lindex   setIndex
-	fbMax    Addr
-	fbOwner  uint64
-	globalFB bool
+	// in each held word's metadata. globalFB caches the STATIC global mode
+	// (EnableTLE && GlobalFallback && !Adaptive): only then do begin/extend/
+	// commit monitor the global fallback sequence through the static checks.
+	// adaptive caches Config.Adaptive: begin then refreshes the tuned knobs
+	// and snapshots the fallback epoch, extend revalidates it, and commit
+	// publishes the inCommit barrier word (see adaptive.go). directGlobal is
+	// per-run state: this fallback run executes under the global lock with
+	// direct NT access (set by runGlobalFallback, whichever mode selected it).
+	locks        []lockEntry
+	lindex       setIndex
+	fbMax        Addr
+	fbOwner      uint64
+	globalFB     bool
+	adaptive     bool
+	directGlobal bool
 }
 
 // readFilterWords sizes rfilter; 8 words = 512 bits keeps the false-positive
@@ -265,6 +273,7 @@ func (t *Txn) fbAcquire(a Addr, op string) int {
 		return i
 	}
 	locked := makeFallbackMeta(t.fbOwner)
+	waited := false
 	for spins := 0; ; spins++ {
 		m := t.meta[s].Load()
 		switch {
@@ -280,9 +289,27 @@ func (t *Txn) fbAcquire(a Addr, op string) int {
 			if metaFallbackOwner(m) == t.fbOwner {
 				panic(fmt.Sprintf("htm: fallback self-deadlock: word %#x is locked by this thread but missing from its lock-set", uint32(a)))
 			}
+			if !waited {
+				// Count the collision once per acquisition, in-order or not:
+				// this is the Tuner's shared-footprint signal (FallbackWaits).
+				waited = true
+				bump(&t.th.cell.fallbackWaits)
+			}
 			// Held by another fallback operation, potentially for long.
 			if len(t.locks) > 0 && s < t.fbMax && spins >= t.fbSpins {
 				t.abort(AbortConflict, a) // release-and-retry (runFallback)
+			}
+			if t.adaptive && (t.th.h.fallbackSeq.Load()&1 != 0 ||
+				FallbackMode(t.th.h.fbMode.Load()) == ModeGlobal) {
+				// A global critical section is pending, or the Tuner switched
+				// modes mid-storm. In-order waits are normally unbounded (they
+				// follow the address order, so they cannot deadlock), but an
+				// unbounded wait here would hold inFine hostage to the very
+				// storm the switch is meant to break — the global acquirer's
+				// quiesce cannot finish until this thread drains. Abandoning
+				// the attempt is always safe; the retry loop re-enters the
+				// barrier and redirects to the global path.
+				t.abort(AbortConflict, a)
 			}
 			runtime.Gosched()
 		default:
@@ -378,6 +405,7 @@ func (t *Txn) engageDedup() {
 		return
 	}
 	t.dedup = true
+	bump(&t.th.cell.dedupEngages)
 	t.rfilter = [readFilterWords]uint64{}
 	t.rindex.reset()
 	kept := t.reads[:0]
@@ -456,8 +484,9 @@ func (t *Txn) extend() {
 	// section state; abort instead, exactly as a hardware transaction holding
 	// the lock word in its read set would. The fine-grained fallback needs no
 	// check here — a fallback that touched any word this transaction read
-	// rewrote that word's metadata, so validate() below catches it.
-	if t.globalFB && t.h.fallbackSeq.Load() != t.fbSeq {
+	// rewrote that word's metadata, so validate() below catches it. Adaptive
+	// mode monitors the same epoch: the global path may engage at any moment.
+	if (t.globalFB || t.adaptive) && t.h.fallbackSeq.Load() != t.fbSeq {
 		t.abort(AbortFallback, NilAddr)
 	}
 	for i := range t.rv {
@@ -493,7 +522,7 @@ func (t *Txn) yieldSlow() {
 // Load transactionally reads the word at a.
 func (t *Txn) Load(a Addr) uint64 {
 	if t.direct {
-		if !t.globalFB {
+		if !t.directGlobal {
 			return t.fbLoad(a)
 		}
 		t.checkAccess(a, "load")
@@ -585,7 +614,7 @@ func (t *Txn) Load(a Addr) uint64 {
 // bounded transactions.
 func (t *Txn) Store(a Addr, v uint64) {
 	if t.direct {
-		if !t.globalFB {
+		if !t.directGlobal {
 			t.fbStore(a, v)
 			return
 		}
@@ -667,7 +696,7 @@ func (t *Txn) rollbackAllocs() {
 func (t *Txn) commit() (AbortCode, Addr) {
 	h := t.h
 	if t.direct {
-		if !t.globalFB {
+		if !t.directGlobal {
 			// Fine-grained fallback: write the buffered stores back under the
 			// held locks, then release every word — written words with one
 			// fresh version tick shared by the whole operation (exactly as a
@@ -704,16 +733,26 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		t.runFrees()
 		return 0, NilAddr
 	}
-	// GlobalFallback compatibility mode only: commits may not overlap a
-	// global-lock fallback critical section. The fine-grained fallback needs
-	// no fence — it holds the metadata locks of the words it touches, so a
-	// conflicting commit simply fails its acquisition CAS below, and a
-	// disjoint commit proceeds concurrently.
+	// Global-fallback fence: commits may not overlap a global-lock fallback
+	// critical section. In the static GlobalFallback mode the fence is the
+	// activeCommits counter; in adaptive mode — where the global path may
+	// engage at any moment — it is the per-thread inCommit barrier word,
+	// published BEFORE revalidating the epoch so this commit either observes
+	// the section (and aborts) or is observed by its acquirer (and waited
+	// out). The fine-grained fallback needs no fence — it holds the metadata
+	// locks of the words it touches, so a conflicting commit simply fails its
+	// acquisition CAS below, and a disjoint commit proceeds concurrently.
 	tle := t.globalFB
 	if tle {
 		h.activeCommits.Add(1)
 		if h.fallbackSeq.Load() != t.fbSeq {
 			h.activeCommits.Add(^uint64(0))
+			return AbortFallback, NilAddr
+		}
+	} else if t.adaptive {
+		t.th.cell.inCommit.Store(1)
+		if h.fallbackSeq.Load() != t.fbSeq {
+			t.th.cell.inCommit.Store(0)
 			return AbortFallback, NilAddr
 		}
 	}
@@ -756,6 +795,8 @@ func (t *Txn) commit() (AbortCode, Addr) {
 		}
 		if tle {
 			h.activeCommits.Add(^uint64(0))
+		} else if t.adaptive {
+			t.th.cell.inCommit.Store(0)
 		}
 		if striped && code == AbortConflict {
 			bump(&t.th.cell.stripeConflicts)
@@ -832,6 +873,8 @@ func (t *Txn) commit() (AbortCode, Addr) {
 	}
 	if tle {
 		h.activeCommits.Add(^uint64(0))
+	} else if t.adaptive {
+		t.th.cell.inCommit.Store(0)
 	}
 	t.runFrees()
 	return 0, NilAddr
@@ -852,6 +895,7 @@ func (t *Txn) reset() {
 	t.locks = t.locks[:0]
 	t.fbMax = 0
 	t.direct = false
+	t.directGlobal = false
 	t.fbSeq = 0
 	if t.dedup {
 		// The filter carries bits only when the previous attempt engaged

@@ -19,6 +19,44 @@ const (
 	shrinkThresold = -2 // halve the step when counter drops below this after an abort
 )
 
+// outcomeWindow is the paper's 8-attempt outcome tracker, shared by the
+// telescoping Controller and the generalized Knob: a bit vector of the most
+// recent attempt outcomes and the running good−bad difference over them.
+type outcomeWindow struct {
+	window uint8 // bit i set = i-th most recent attempt was good
+	filled int   // number of valid bits in window (≤ 8)
+	diff   int   // good − bad over the window
+}
+
+// record pushes an outcome into the window and updates the difference, aging
+// out the oldest outcome when full.
+func (w *outcomeWindow) record(good bool) {
+	if w.filled == windowSize {
+		if w.window&(1<<(windowSize-1)) != 0 {
+			w.diff--
+		} else {
+			w.diff++
+		}
+	} else {
+		w.filled++
+	}
+	w.window <<= 1
+	if good {
+		w.window |= 1
+		w.diff++
+	} else {
+		w.diff--
+	}
+}
+
+// reset clears the window, as required after each resize ("only transaction
+// attempts since the last resize are relevant").
+func (w *outcomeWindow) reset() {
+	w.window = 0
+	w.filled = 0
+	w.diff = 0
+}
+
 // Controller adapts a telescoping step size to transaction abort feedback.
 // It is not safe for concurrent use; each collecting thread owns one.
 type Controller struct {
@@ -26,9 +64,7 @@ type Controller struct {
 	min  int
 	max  int
 
-	window uint8 // bit i set = i-th most recent attempt committed
-	filled int   // number of valid bits in window (≤ 8)
-	diff   int   // commits − aborts over the window
+	win outcomeWindow
 }
 
 // NewController returns a controller constrained to [min, max] starting at
@@ -53,64 +89,35 @@ func NewController(min, max, initial int) *Controller {
 // Step returns the step size to use for the next transaction attempt.
 func (c *Controller) Step() int { return c.step }
 
-// record pushes an outcome (true = commit) into the window and updates the
-// commit−abort difference, aging out the oldest outcome when full.
-func (c *Controller) record(commit bool) {
-	if c.filled == windowSize {
-		if c.window&(1<<(windowSize-1)) != 0 {
-			c.diff--
-		} else {
-			c.diff++
-		}
-	} else {
-		c.filled++
-	}
-	c.window <<= 1
-	if commit {
-		c.window |= 1
-		c.diff++
-	} else {
-		c.diff--
-	}
-}
-
-// reset clears the outcome window, as required after each step-size change
-// ("only transaction attempts since the last resize are relevant").
-func (c *Controller) reset() {
-	c.window = 0
-	c.filled = 0
-	c.diff = 0
-}
-
 // RecordCommit feeds a committed attempt into the controller, possibly
 // doubling the step size.
 func (c *Controller) RecordCommit() {
-	c.record(true)
-	if c.diff > growThreshold && c.step < c.max {
+	c.win.record(true)
+	if c.win.diff > growThreshold && c.step < c.max {
 		c.step *= 2
 		if c.step > c.max {
 			c.step = c.max
 		}
-		c.reset()
+		c.win.reset()
 	}
 }
 
 // RecordAbort feeds an aborted attempt into the controller, possibly halving
 // the step size.
 func (c *Controller) RecordAbort() {
-	c.record(false)
-	if c.diff < shrinkThresold && c.step > c.min {
+	c.win.record(false)
+	if c.win.diff < shrinkThresold && c.step > c.min {
 		c.step /= 2
 		if c.step < c.min {
 			c.step = c.min
 		}
-		c.reset()
+		c.win.reset()
 	}
 }
 
 // Diff exposes the current commit−abort difference for tests and
 // diagnostics.
-func (c *Controller) Diff() int { return c.diff }
+func (c *Controller) Diff() int { return c.win.diff }
 
 // Window exposes how many outcomes are currently considered.
-func (c *Controller) Window() int { return c.filled }
+func (c *Controller) Window() int { return c.win.filled }

@@ -105,6 +105,54 @@ func TestWindowAgesOut(t *testing.T) {
 	}
 }
 
+func TestWindowAgesAtExactlyWindowSize(t *testing.T) {
+	// Fill the window with exactly windowSize outcomes: 4 commits then 4
+	// aborts (diff 0). The (windowSize+1)-th outcome must age out the oldest
+	// recorded outcome — a commit — so one more abort moves the difference by
+	// −2 (aged-out commit plus the new abort), not −1, and the window stays
+	// pinned at windowSize entries.
+	c := NewController(1, 32, 8)
+	for i := 0; i < windowSize/2; i++ {
+		c.RecordCommit()
+	}
+	for i := 0; i < windowSize/2; i++ {
+		c.RecordAbort()
+	}
+	if c.Window() != windowSize || c.Diff() != 0 {
+		t.Fatalf("after %d mixed outcomes: window=%d diff=%d, want %d and 0",
+			windowSize, c.Window(), c.Diff(), windowSize)
+	}
+	c.RecordAbort()
+	if c.Window() != windowSize {
+		t.Errorf("window = %d after aging, want pinned at %d", c.Window(), windowSize)
+	}
+	if c.Diff() != -2 {
+		t.Errorf("diff = %d after aging out a commit, want -2", c.Diff())
+	}
+	if c.Step() != 8 {
+		t.Errorf("step = %d, want unchanged 8 (diff -2 is not < -2)", c.Step())
+	}
+}
+
+func TestResetOnResize(t *testing.T) {
+	// Both resize directions must clear the window: only attempts since the
+	// last resize are relevant (§3.4).
+	grow := NewController(1, 32, 4)
+	for grow.Step() == 4 {
+		grow.RecordCommit()
+	}
+	if grow.Window() != 0 || grow.Diff() != 0 {
+		t.Errorf("grow resize kept window=%d diff=%d, want 0,0", grow.Window(), grow.Diff())
+	}
+	shrink := NewController(1, 32, 16)
+	for shrink.Step() == 16 {
+		shrink.RecordAbort()
+	}
+	if shrink.Window() != 0 || shrink.Diff() != 0 {
+		t.Errorf("shrink resize kept window=%d diff=%d, want 0,0", shrink.Window(), shrink.Diff())
+	}
+}
+
 func TestDiffTracksWindow(t *testing.T) {
 	c := NewController(1, 64, 16)
 	c.RecordCommit()

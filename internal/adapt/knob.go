@@ -1,0 +1,104 @@
+package adapt
+
+import "sync/atomic"
+
+// Knob generalizes the telescoping Controller into a self-tuning integer
+// knob: a power-of-two-stepped value constrained to [min, max], driven by
+// up/down votes through the same 8-outcome window the paper uses for step
+// sizes. A sustained majority of up-votes doubles the value; a sustained
+// majority of down-votes halves it; the window resets on every resize so only
+// evidence gathered at the current value counts.
+//
+// The current value is published through an atomic, so any goroutine may call
+// Value concurrently with the (single) tuning goroutine calling RecordUp /
+// RecordDown / Set.
+type Knob struct {
+	val atomic.Int64
+
+	min int
+	max int
+	win outcomeWindow
+}
+
+// NewKnob returns a knob constrained to [min, max] starting at initial.
+// Arguments are clamped into a sane order, exactly like NewController.
+func NewKnob(min, max, initial int) *Knob {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if initial < min {
+		initial = min
+	}
+	if initial > max {
+		initial = max
+	}
+	k := &Knob{min: min, max: max}
+	k.val.Store(int64(initial))
+	return k
+}
+
+// Value returns the current knob value. Safe for concurrent use.
+func (k *Knob) Value() int { return int(k.val.Load()) }
+
+// Min and Max expose the knob's bounds.
+func (k *Knob) Min() int { return k.min }
+func (k *Knob) Max() int { return k.max }
+
+// Set forces the knob to v (clamped into [min, max]) and resets the outcome
+// window, since accumulated evidence concerned the previous value. Only the
+// tuning goroutine may call Set.
+func (k *Knob) Set(v int) {
+	if v < k.min {
+		v = k.min
+	}
+	if v > k.max {
+		v = k.max
+	}
+	k.val.Store(int64(v))
+	k.win.reset()
+}
+
+// RecordUp feeds an "increase" vote. When the windowed up−down difference
+// exceeds the grow threshold the value doubles (clamped to max) and the
+// window resets. Reports whether the value changed.
+func (k *Knob) RecordUp() bool {
+	k.win.record(true)
+	v := int(k.val.Load())
+	if k.win.diff > growThreshold && v < k.max {
+		v *= 2
+		if v > k.max {
+			v = k.max
+		}
+		k.val.Store(int64(v))
+		k.win.reset()
+		return true
+	}
+	return false
+}
+
+// RecordDown feeds a "decrease" vote. When the windowed up−down difference
+// drops below the shrink threshold the value halves (clamped to min) and the
+// window resets. Reports whether the value changed.
+func (k *Knob) RecordDown() bool {
+	k.win.record(false)
+	v := int(k.val.Load())
+	if k.win.diff < shrinkThresold && v > k.min {
+		v /= 2
+		if v < k.min {
+			v = k.min
+		}
+		k.val.Store(int64(v))
+		k.win.reset()
+		return true
+	}
+	return false
+}
+
+// Diff exposes the current up−down difference for tests and diagnostics.
+func (k *Knob) Diff() int { return k.win.diff }
+
+// Window exposes how many outcomes are currently considered.
+func (k *Knob) Window() int { return k.win.filled }

@@ -1,0 +1,207 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// The Knob tests mirror the Controller suite: same window mechanics, same
+// clamping rules, plus the atomic-publication and Set semantics the Knob adds.
+
+func TestNewKnobClamps(t *testing.T) {
+	tests := []struct {
+		name                       string
+		min, max, initial          int
+		wantMin, wantMax, wantInit int
+	}{
+		{"normal", 1, 32, 8, 1, 32, 8},
+		{"initial below min", 4, 32, 1, 4, 32, 4},
+		{"initial above max", 1, 16, 64, 1, 16, 16},
+		{"min below one", -3, 8, 2, 1, 8, 2},
+		{"max below min", 8, 2, 8, 8, 8, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k := NewKnob(tt.min, tt.max, tt.initial)
+			if k.Min() != tt.wantMin || k.Max() != tt.wantMax || k.Value() != tt.wantInit {
+				t.Errorf("got (min=%d max=%d value=%d), want (%d %d %d)",
+					k.Min(), k.Max(), k.Value(), tt.wantMin, tt.wantMax, tt.wantInit)
+			}
+		})
+	}
+}
+
+func TestKnobGrowAfterSevenUps(t *testing.T) {
+	k := NewKnob(1, 32, 4)
+	for i := 0; i < 6; i++ {
+		if k.RecordUp() {
+			t.Fatalf("value changed after only %d up-votes", i+1)
+		}
+	}
+	if !k.RecordUp() { // diff reaches 7 > 6
+		t.Fatal("7th straight up-vote did not resize")
+	}
+	if k.Value() != 8 {
+		t.Errorf("value = %d after 7 straight up-votes, want 8", k.Value())
+	}
+	if k.Window() != 0 {
+		t.Errorf("window not reset after resize: %d", k.Window())
+	}
+}
+
+func TestKnobShrinkAfterDowns(t *testing.T) {
+	k := NewKnob(1, 32, 16)
+	k.RecordDown() // diff -1
+	k.RecordDown() // diff -2
+	if k.Value() != 16 {
+		t.Fatalf("value changed too early: %d", k.Value())
+	}
+	if !k.RecordDown() { // diff -3 < -2
+		t.Fatal("3rd straight down-vote did not resize")
+	}
+	if k.Value() != 8 {
+		t.Errorf("value = %d after 3 straight down-votes, want 8", k.Value())
+	}
+}
+
+func TestKnobBoundedByMinMax(t *testing.T) {
+	k := NewKnob(2, 32, 32)
+	for i := 0; i < 100; i++ {
+		k.RecordUp()
+	}
+	if k.Value() != 32 {
+		t.Errorf("value = %d, want capped at 32", k.Value())
+	}
+	for i := 0; i < 100; i++ {
+		k.RecordDown()
+	}
+	if k.Value() != 2 {
+		t.Errorf("value = %d, want floored at 2", k.Value())
+	}
+}
+
+func TestKnobWindowAgesAtExactlyWindowSize(t *testing.T) {
+	// Same boundary as the Controller test: the (windowSize+1)-th vote ages
+	// out the oldest vote, so a down-vote after a balanced full window moves
+	// the difference by −2 and the window stays pinned at windowSize.
+	k := NewKnob(1, 32, 8)
+	for i := 0; i < windowSize/2; i++ {
+		k.RecordUp()
+	}
+	for i := 0; i < windowSize/2; i++ {
+		k.RecordDown()
+	}
+	if k.Window() != windowSize || k.Diff() != 0 {
+		t.Fatalf("after %d mixed votes: window=%d diff=%d, want %d and 0",
+			windowSize, k.Window(), k.Diff(), windowSize)
+	}
+	k.RecordDown()
+	if k.Window() != windowSize {
+		t.Errorf("window = %d after aging, want pinned at %d", k.Window(), windowSize)
+	}
+	if k.Diff() != -2 {
+		t.Errorf("diff = %d after aging out an up-vote, want -2", k.Diff())
+	}
+	if k.Value() != 8 {
+		t.Errorf("value = %d, want unchanged 8 (diff -2 is not < -2)", k.Value())
+	}
+}
+
+func TestKnobResetOnResize(t *testing.T) {
+	grow := NewKnob(1, 32, 4)
+	for grow.Value() == 4 {
+		grow.RecordUp()
+	}
+	if grow.Window() != 0 || grow.Diff() != 0 {
+		t.Errorf("grow resize kept window=%d diff=%d, want 0,0", grow.Window(), grow.Diff())
+	}
+	shrink := NewKnob(1, 32, 16)
+	for shrink.Value() == 16 {
+		shrink.RecordDown()
+	}
+	if shrink.Window() != 0 || shrink.Diff() != 0 {
+		t.Errorf("shrink resize kept window=%d diff=%d, want 0,0", shrink.Window(), shrink.Diff())
+	}
+}
+
+func TestKnobSetClampsAndResets(t *testing.T) {
+	k := NewKnob(2, 32, 8)
+	k.RecordUp()
+	k.RecordUp()
+	k.Set(64)
+	if k.Value() != 32 {
+		t.Errorf("Set(64) → %d, want clamped to 32", k.Value())
+	}
+	if k.Window() != 0 || k.Diff() != 0 {
+		t.Errorf("Set kept window=%d diff=%d, want 0,0", k.Window(), k.Diff())
+	}
+	k.Set(1)
+	if k.Value() != 2 {
+		t.Errorf("Set(1) → %d, want clamped to 2", k.Value())
+	}
+}
+
+func TestKnobConcurrentReaders(t *testing.T) {
+	// Value must be safe to read while the tuning goroutine votes; run under
+	// -race to verify the publication is properly atomic.
+	k := NewKnob(1, 1024, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := k.Value(); v < 1 || v > 1024 {
+					t.Errorf("Value() = %d out of bounds", v)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		if i%3 == 0 {
+			k.RecordDown()
+		} else {
+			k.RecordUp()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQuickKnobAlwaysInBounds(t *testing.T) {
+	f := func(votes []bool) bool {
+		k := NewKnob(1, 32, 8)
+		for _, up := range votes {
+			if up {
+				k.RecordUp()
+			} else {
+				k.RecordDown()
+			}
+			if k.Value() < 1 || k.Value() > 32 {
+				return false
+			}
+			if k.Diff() < -windowSize || k.Diff() > windowSize {
+				return false
+			}
+			if k.Window() > windowSize {
+				return false
+			}
+			v := k.Value()
+			if v&(v-1) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAdaptivePhaseShift smoke-runs all three modes at a short point duration
+// and checks each phase type did work and the measurement is well-formed.
+func TestAdaptivePhaseShift(t *testing.T) {
+	cfg := Config{PointDuration: 80 * time.Millisecond}
+	for _, mode := range []AdaptiveMode{AdaptiveFine, AdaptiveGlobal, AdaptiveTuned} {
+		r := AdaptivePhaseShift(cfg, 4, mode)
+		if r.DisjointOps == 0 || r.SharedOps == 0 {
+			t.Errorf("%v: empty phase: disjoint=%d shared=%d", mode, r.DisjointOps, r.SharedOps)
+		}
+		if r.DisjointTime <= 0 || r.SharedTime <= 0 {
+			t.Errorf("%v: unmeasured phase time", mode)
+		}
+		if r.Stats.FallbackRuns == 0 {
+			t.Errorf("%v: overflow workload never hit the fallback", mode)
+		}
+		if mode != AdaptiveTuned && r.Stats.ModeSwitches != 0 {
+			t.Errorf("%v: static run reported %d mode switches", mode, r.Stats.ModeSwitches)
+		}
+	}
+}
+
+// TestAdaptiveScalingTable checks the figure's shape.
+func TestAdaptiveScalingTable(t *testing.T) {
+	tb := AdaptiveScaling(Config{PointDuration: 80 * time.Millisecond}, 4)
+	if len(tb.Xs) != 3 || len(tb.Series) != 3 {
+		t.Fatalf("table shape = %d Xs x %d series, want 3x3", len(tb.Xs), len(tb.Series))
+	}
+	for _, s := range tb.Series {
+		if len(s.Ys) != len(tb.Xs) {
+			t.Fatalf("series %q has %d points for %d Xs", s.Label, len(s.Ys), len(tb.Xs))
+		}
+		for i, y := range s.Ys {
+			if y <= 0 {
+				t.Errorf("series %q point %q is %v, want > 0", s.Label, tb.Xs[i], y)
+			}
+		}
+	}
+}

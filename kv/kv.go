@@ -118,6 +118,14 @@ type Config struct {
 	// nothing.
 	Faults *htm.FaultPlan
 
+	// Adaptive, when non-nil, arms the heap's runtime contention knobs
+	// (htm.Config.Adaptive) and attaches an htm.Tuner to the store: the
+	// fallback mode, spin budget and dedup threshold self-tune from live
+	// abort feedback, and the admission Governor (if the server enables one)
+	// tracks the heap's abort mix instead of using a static storm threshold.
+	// nil keeps every knob static — bit-for-bit the non-adaptive engine.
+	Adaptive *AdaptiveConfig
+
 	// Durability, when non-nil, attaches a write-ahead commit log and
 	// snapshotting to the store: every acknowledged PUT/DELETE is CRC-framed
 	// into the log (group-commit fsync) before the call returns, and
@@ -128,6 +136,17 @@ type Config struct {
 	// Now overrides the expiry clock (tests). Defaults to time.Now-based
 	// unix nanoseconds.
 	Now func() int64
+}
+
+// AdaptiveConfig parameterizes the store's contention Tuner (htm.Tuner).
+type AdaptiveConfig struct {
+	// Interval is the tuning epoch length (0 = htm default, 25ms).
+	Interval time.Duration
+	// Pinned arms the sampling loop but suppresses every decision: epochs
+	// tick and /stats reports live data, yet no knob is ever written. The
+	// chaos harness runs enabled-but-pinned to prove the adaptive machinery
+	// itself perturbs nothing.
+	Pinned bool
 }
 
 // Durability parameterizes the WAL + snapshot subsystem (package kv/wal).

@@ -103,6 +103,11 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		// reaches a handler.
 		sv.governor = NewGovernor(store, *sv.admission)
 		mws = append(mws, WithAdmission(sv.governor, &sv.metrics))
+		if tu := store.Tuner(); tu != nil {
+			// Adaptive store: the governor becomes a Tuner client, tracking
+			// the heap's epoch abort mix instead of a static storm threshold.
+			tu.Observe(sv.governor.TrackAbortMix)
+		}
 	}
 	if sv.logf != nil {
 		mws = append(mws, WithLogging(sv.logf))
@@ -296,6 +301,7 @@ type statsResponse struct {
 	Jobs      *JobStats       `json:"jobs,omitempty"`
 	HTTP      MetricsSnapshot `json:"http"`
 	Admission map[string]any  `json:"admission,omitempty"`
+	Adaptive  map[string]any  `json:"adaptive,omitempty"`
 	Wal       map[string]any  `json:"wal,omitempty"`
 }
 
@@ -315,6 +321,7 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"fallback_runs":    hs.FallbackRuns,
 			"fallback_locks":   hs.FallbackLocks,
 			"fallback_retries": hs.FallbackRetries,
+			"fallback_waits":   hs.FallbackWaits,
 			"fallback_stalls":  hs.FallbackStalls,
 			"spurious_aborts":  hs.SpuriousAborts(),
 			"live_words":       hs.LiveWords,
@@ -337,8 +344,20 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sv.governor != nil {
 		resp.Admission = map[string]any{
-			"sheds":    sv.governor.Sheds(),
-			"storming": sv.governor.Storming(),
+			"sheds":      sv.governor.Sheds(),
+			"storming":   sv.governor.Storming(),
+			"storm_rate": sv.governor.StormRate(),
+		}
+	}
+	if tu := sv.store.Tuner(); tu != nil {
+		ts := tu.State()
+		resp.Adaptive = map[string]any{
+			"mode":           ts.Mode.String(),
+			"mode_switches":  ts.ModeSwitches,
+			"fallback_spins": ts.FallbackSpins,
+			"dedup_bypass":   ts.DedupBypass,
+			"epochs":         ts.Epochs,
+			"pinned":         ts.Pinned,
 		}
 	}
 	if ws, ok := sv.store.WalStats(); ok {

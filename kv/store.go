@@ -67,6 +67,11 @@ type Store struct {
 	walFails  atomic.Uint64
 	snaps     atomic.Uint64
 	closed    atomic.Bool
+
+	// tuner is the heap's contention controller (Config.Adaptive; nil when
+	// the store runs static). Owned by the store: started at construction,
+	// stopped by Close.
+	tuner *htm.Tuner
 }
 
 // NewStore builds a purely in-memory Store on a private heap per cfg. A
@@ -91,12 +96,16 @@ func newStoreCore(cfg Config) *Store {
 		ClockShards:     cfg.ClockShards,
 		StripeShift:     cfg.StripeShift,
 		Faults:          cfg.Faults,
+		Adaptive:        cfg.Adaptive != nil,
 	})
 	s := &Store{
 		cfg:  cfg,
 		heap: h,
 		pool: make(chan *htm.Thread, cfg.PoolThreads),
 		mask: uint64(cfg.Slots - 1),
+	}
+	if ac := cfg.Adaptive; ac != nil {
+		s.tuner = h.StartTuner(htm.TunerConfig{Interval: ac.Interval, Pinned: ac.Pinned})
 	}
 	setup := h.NewThread()
 	s.table = setup.Alloc(cfg.Slots)
@@ -110,6 +119,10 @@ func newStoreCore(cfg Config) *Store {
 
 // Heap exposes the backing heap (stats endpoint, job pipeline, tests).
 func (s *Store) Heap() *htm.Heap { return s.heap }
+
+// Tuner exposes the store's contention controller, nil when Config.Adaptive
+// is unset.
+func (s *Store) Tuner() *htm.Tuner { return s.tuner }
 
 // Slots returns the index capacity; Scan cursors range over [0, Slots()).
 func (s *Store) Slots() uint64 { return uint64(s.cfg.Slots) }

@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/harness"
 )
 
 // discoverPackages returns "./dir/name" for every subdirectory of the given
@@ -61,16 +63,18 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		"./cmd/kvload":           {"-help"},
 		// A real (tiny) chaos run: deterministic shadow-model phase plus the
 		// overload sweep, exit 0 = model, sweep and determinism checks passed.
-		// Runs with the sharded clock so the determinism contract is exercised
-		// at shards>1 on every test invocation (CI also runs it unsharded).
-		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4", "-clock-shards", "2"},
+		// Runs with the sharded clock and a pinned (observe-only) tuner so the
+		// determinism contract is exercised at shards>1 with the tuner's
+		// sampling goroutine live on every test invocation (CI also runs it
+		// unsharded, and runs the pinned same-seed pair under -race).
+		"./cmd/chaoskv": {"-seed", "1", "-ops", "300", "-duration", "30ms", "-clients", "4", "-clock-shards", "2", "-adapt-pinned"},
 		// A real (tiny) crash run: two SIGKILL/restart cycles plus the torn
 		// and mid-log phases against a real kvserver process; exit 0 = zero
 		// acknowledged-write loss and the refuse-to-start contract held.
 		"./cmd/crashkv": {"-quick", "-seed", "1", "-cycles", "2", "-clients", "2", "-keys", "8"},
 		// Self-diff of the committed snapshot: must exit 0 (no regressions,
 		// no shrunken coverage).
-		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR9.json", "BENCH_PR9.json"},
+		"./cmd/benchtrend": {"-fail-shrunk", "BENCH_PR10.json", "BENCH_PR10.json"},
 	}
 
 	pkgs := discoverPackages(t, "cmd", "examples")
@@ -105,6 +109,7 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 		{"BENCH_PR6.json", "BENCH_PR7.json"},
 		{"BENCH_PR7.json", "BENCH_PR8.json"},
 		{"BENCH_PR8.json", "BENCH_PR9.json"},
+		{"BENCH_PR9.json", "BENCH_PR10.json"},
 	}
 	for _, link := range chain {
 		link := link
@@ -118,5 +123,47 @@ func TestSmokeExamplesAndCommands(t *testing.T) {
 				t.Fatalf("coverage gate %s -> %s failed: %v\n%s", link[0], link[1], err, out)
 			}
 		})
+	}
+}
+
+// TestSmokeFallbackbenchAppendReplaces runs fallbackbench -json twice into the
+// same report file, the second time with -append — the shape of the CI bench
+// pipeline, where a report is extended in place. Report.AddTable replaces a
+// same-title table rather than appending a duplicate, so the merged report
+// must carry each figure exactly once, the new adaptive phase-shift figure
+// included.
+func TestSmokeFallbackbenchAppendReplaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fallbackbench binary twice")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	run := func(extra ...string) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+		args := append([]string{"run", "./cmd/fallbackbench",
+			"-quick", "-duration", "10ms", "-threads", "4", "-json", out}, extra...)
+		cmd := exec.CommandContext(ctx, "go", args...)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go %v failed: %v\n%s", args, err, b)
+		}
+	}
+	run()
+	run("-append")
+
+	rep, err := harness.ReadJSONFile(out)
+	if err != nil {
+		t.Fatalf("reading merged report: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, tb := range rep.Tables {
+		if seen[tb.Title] {
+			t.Errorf("-append duplicated table %q", tb.Title)
+		}
+		seen[tb.Title] = true
+	}
+	const adaptiveTitle = "Adaptive contention management: phase-shift overflow [ops/us]"
+	if !seen[adaptiveTitle] {
+		t.Errorf("merged report is missing the adaptive figure %q; has %d tables", adaptiveTitle, len(rep.Tables))
 	}
 }
